@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark runs its experiment exactly once (``pedantic`` with one
+round): the quantity of interest is the *simulated* execution time reported
+via ``extra_info``, not the harness's wall-clock, and experiment runs are
+deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment a single time under pytest-benchmark."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    run.extra_info = benchmark.extra_info
+    return run

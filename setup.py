@@ -1,0 +1,15 @@
+"""Setup shim: legacy editable installs work offline (no wheel package)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Revisiting Runtime Dynamic Optimization for Join "
+        "Queries in Big Data Management Systems' (EDBT 2022)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,35 @@
+"""repro: reproduction of "Revisiting Runtime Dynamic Optimization for Join
+Queries in Big Data Management Systems" (Pavlopoulou, Carey, Tsotras — EDBT
+2022) as a self-contained simulated shared-nothing BDMS.
+
+Public entry points:
+
+- :class:`repro.Session` — load datasets, create indexes, execute queries
+  under any of the seven optimization strategies.
+- :class:`repro.QueryBuilder` — construct multi-join queries with simple,
+  parameterized, and UDF predicates.
+- :mod:`repro.workloads` — TPC-H / TPC-DS style generators and the paper's
+  four evaluation queries.
+- :mod:`repro.bench` — harness regenerating every table and figure of the
+  paper's evaluation section.
+"""
+
+from repro.cluster.config import ClusterConfig, default_cluster
+from repro.engine.metrics import ExecutionResult, JobMetrics
+from repro.lang.builder import QueryBuilder
+from repro.lang.udf import UdfRegistry, default_registry
+from repro.session import Session
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "ExecutionResult",
+    "JobMetrics",
+    "QueryBuilder",
+    "Session",
+    "UdfRegistry",
+    "default_cluster",
+    "default_registry",
+    "__version__",
+]

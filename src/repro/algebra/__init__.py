@@ -1,0 +1,24 @@
+"""Algebricks-like layer: plans, estimation, rewrite rules, job generation."""
+
+from repro.algebra.estimation import NodeEstimate, PlanEstimator
+from repro.algebra.jobgen import (
+    build_final_job,
+    build_pushdown_job,
+    build_sink_job,
+    compile_plan,
+)
+from repro.algebra.plan import JoinNode, LeafNode, PlanNode, is_bushy, is_right_deep
+
+__all__ = [
+    "JoinNode",
+    "LeafNode",
+    "NodeEstimate",
+    "PlanEstimator",
+    "PlanNode",
+    "build_final_job",
+    "build_pushdown_job",
+    "build_sink_job",
+    "compile_plan",
+    "is_bushy",
+    "is_right_deep",
+]

@@ -1,0 +1,102 @@
+"""Join-tree plans: the artifact every optimizer produces.
+
+A plan is a binary tree whose leaves are FROM-clause entries (base datasets
+or materialized intermediates, with their local predicates) and whose inner
+nodes are joins annotated with key columns, algorithm, and build/probe
+orientation. ``describe()`` renders the appendix notation: ``⋈`` hash,
+``⋈b`` broadcast, ``⋈i`` indexed nested loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.engine.operators.joins import JoinAlgorithm
+from repro.lang.ast import Predicate
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """Base class for plan-tree nodes."""
+
+    @property
+    def aliases(self) -> frozenset:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def join_nodes(self) -> list["JoinNode"]:
+        return []
+
+    def leaves(self) -> list["LeafNode"]:
+        return []
+
+
+@dataclass(frozen=True)
+class LeafNode(PlanNode):
+    """One FROM-clause entry with its local predicates."""
+
+    alias: str
+    dataset: str
+    predicates: tuple[Predicate, ...] = ()
+    is_intermediate: bool = False
+
+    @property
+    def aliases(self) -> frozenset:
+        return frozenset((self.alias,))
+
+    def describe(self) -> str:
+        if self.predicates:
+            return f"σ({self.alias})"
+        return self.alias
+
+    def leaves(self) -> list["LeafNode"]:
+        return [self]
+
+
+@dataclass(frozen=True)
+class JoinNode(PlanNode):
+    """A join with resolved orientation: ``build`` is the (smaller) side the
+    algorithm builds from, ``probe`` the side it streams."""
+
+    build: PlanNode
+    probe: PlanNode
+    build_keys: tuple[str, ...]
+    probe_keys: tuple[str, ...]
+    algorithm: JoinAlgorithm = JoinAlgorithm.HASH
+    estimated_rows: float = field(default=0.0, compare=False)
+
+    @property
+    def aliases(self) -> frozenset:
+        return self.build.aliases | self.probe.aliases
+
+    def describe(self) -> str:
+        marker = self.algorithm.plan_marker
+        return f"({self.build.describe()} ⋈{marker} {self.probe.describe()})"
+
+    def join_nodes(self) -> list["JoinNode"]:
+        return self.build.join_nodes() + self.probe.join_nodes() + [self]
+
+    def leaves(self) -> list[LeafNode]:
+        return self.build.leaves() + self.probe.leaves()
+
+    def with_algorithm(self, algorithm: JoinAlgorithm) -> "JoinNode":
+        return replace(self, algorithm=algorithm)
+
+
+def is_right_deep(node: PlanNode) -> bool:
+    """True when every join's build side is a leaf (no bushy subtrees)."""
+    if isinstance(node, LeafNode):
+        return True
+    assert isinstance(node, JoinNode)
+    return isinstance(node.build, LeafNode) and is_right_deep(node.probe)
+
+
+def is_bushy(node: PlanNode) -> bool:
+    """True when some join has joins on both sides."""
+    if isinstance(node, LeafNode):
+        return False
+    assert isinstance(node, JoinNode)
+    both = isinstance(node.build, JoinNode) and isinstance(node.probe, JoinNode)
+    return both or is_bushy(node.build) or is_bushy(node.probe)

@@ -1,0 +1,25 @@
+"""Optimizer rewrite rules (Figure 2 additions)."""
+
+from repro.algebra.rules.join_algorithm import (
+    INL_SIZE_FACTOR,
+    AlgorithmChoice,
+    JoinSide,
+    choose_algorithm,
+)
+from repro.algebra.rules.pushdown import (
+    PushdownCandidate,
+    needs_pushdown,
+    pushdown_candidates,
+    surviving_columns,
+)
+
+__all__ = [
+    "INL_SIZE_FACTOR",
+    "AlgorithmChoice",
+    "JoinSide",
+    "PushdownCandidate",
+    "choose_algorithm",
+    "needs_pushdown",
+    "pushdown_candidates",
+    "surviving_columns",
+]

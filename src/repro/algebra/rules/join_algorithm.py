@@ -1,0 +1,115 @@
+"""JoinAlgorithmRule: pick hash / broadcast / indexed nested loop + orientation.
+
+Reproduces Section 6.1.2:
+
+- hash join is the default;
+- broadcast when one side's (estimated or measured) byte size fits the
+  per-node join memory budget — the big side then never crosses the network;
+- indexed nested loop when, additionally, the probe side is a *base* dataset
+  with a secondary index on the join field and the broadcast side is
+  filtered ("during the index lookup of a large dataset there will be no
+  need for all the pages to be accessed"). An unfiltered broadcast side
+  means too many index lookups: "scanning the whole dataset once is
+  preferred" (the Q8 supplier ⋈ nation case).
+
+The same rule serves every optimizer; they differ only in the fidelity of
+the :class:`JoinSide` numbers they feed it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.config import ClusterConfig
+from repro.engine.operators.joins import JoinAlgorithm
+
+#: The INL build side must satisfy the same memory budget as a broadcast
+#: build ("knowing that the cardinality of one of the datasets is small
+#: enough to be broadcast also opens opportunities for performing the
+#: indexed nested loop join", Section 6.1.2) — this is why Q8's filtered
+#: part table, too large to broadcast, never triggers INL.
+INL_SIZE_FACTOR = 1.0
+
+
+@dataclass(frozen=True)
+class JoinSide:
+    """What the rule needs to know about one join input."""
+
+    rows: float
+    byte_size: float
+    #: True when this side is a stored base dataset scan (indexes intact).
+    is_base: bool = False
+    dataset: str | None = None
+    alias: str | None = None
+    #: Plain field names carrying secondary indexes (INL probe candidates).
+    indexed_fields: frozenset = frozenset()
+    #: True when local predicates restrict this side (INL build requirement).
+    filtered: bool = False
+    #: True when the side has no local predicates pending (INL inner must be
+    #: probed as-stored; pending filters would need a residual pass).
+    predicate_free: bool = True
+    #: User-supplied broadcast hint (AsterixDB query hint).
+    broadcast_hint: bool = False
+
+
+@dataclass(frozen=True)
+class AlgorithmChoice:
+    algorithm: JoinAlgorithm
+    build_is_left: bool
+
+
+def choose_algorithm(
+    left: JoinSide,
+    right: JoinSide,
+    left_fields: tuple[str, ...],
+    right_fields: tuple[str, ...],
+    cluster: ClusterConfig,
+    inl_enabled: bool = False,
+    honor_hints_only: bool = False,
+) -> AlgorithmChoice:
+    """Pick the algorithm and which side builds.
+
+    ``left_fields`` / ``right_fields`` are the *plain* join field names of
+    each side (for the index check). With ``honor_hints_only`` the rule acts
+    like stock AsterixDB: hash unless a side carries a broadcast hint.
+    """
+    threshold = cluster.broadcast_threshold_bytes
+
+    if honor_hints_only:
+        if left.broadcast_hint or right.broadcast_hint:
+            build_is_left = left.broadcast_hint
+            build, probe = (left, right) if build_is_left else (right, left)
+            probe_fields = right_fields if build_is_left else left_fields
+            if _inl_applicable(build, probe, probe_fields, threshold, inl_enabled):
+                return AlgorithmChoice(JoinAlgorithm.INDEX_NESTED_LOOP, build_is_left)
+            return AlgorithmChoice(JoinAlgorithm.BROADCAST, build_is_left)
+        return AlgorithmChoice(JoinAlgorithm.HASH, left.byte_size <= right.byte_size)
+
+    build_is_left = left.byte_size <= right.byte_size
+    build, probe = (left, right) if build_is_left else (right, left)
+    probe_fields = right_fields if build_is_left else left_fields
+
+    if _inl_applicable(build, probe, probe_fields, threshold, inl_enabled):
+        return AlgorithmChoice(JoinAlgorithm.INDEX_NESTED_LOOP, build_is_left)
+    if build.byte_size <= threshold:
+        return AlgorithmChoice(JoinAlgorithm.BROADCAST, build_is_left)
+    return AlgorithmChoice(JoinAlgorithm.HASH, build_is_left)
+
+
+def _inl_applicable(
+    build: JoinSide,
+    probe: JoinSide,
+    probe_fields: tuple[str, ...],
+    threshold: float,
+    inl_enabled: bool,
+) -> bool:
+    if not inl_enabled:
+        return False
+    if not probe.is_base or not probe.predicate_free:
+        return False
+    if not probe_fields or probe_fields[0] not in probe.indexed_fields:
+        return False
+    if not build.filtered:
+        # Unfiltered broadcast side: every inner page would be touched anyway.
+        return False
+    return build.byte_size <= threshold * INL_SIZE_FACTOR

@@ -1,0 +1,57 @@
+"""Benchmark harness regenerating every table and figure of the paper."""
+
+from repro.bench.comparison import (
+    ComparisonCell,
+    comparison_row,
+    figure7,
+    figure8,
+    format_cells,
+)
+from repro.bench.overhead import (
+    OverheadReport,
+    figure6,
+    format_reports,
+    overhead_report,
+)
+from repro.bench.plans import PlanEntry, format_matrix, plan_matrix
+from repro.bench.runner import (
+    COMPARISON_OPTIMIZERS,
+    QUERIES,
+    SCALE_FACTORS,
+    clear_cache,
+    run_query,
+    workbench,
+    workbench_for_query,
+)
+from repro.bench.table1 import (
+    PAPER_TABLE1,
+    ImprovementRow,
+    format_rows,
+    improvement_rows,
+)
+
+__all__ = [
+    "COMPARISON_OPTIMIZERS",
+    "ComparisonCell",
+    "ImprovementRow",
+    "OverheadReport",
+    "PAPER_TABLE1",
+    "PlanEntry",
+    "QUERIES",
+    "SCALE_FACTORS",
+    "clear_cache",
+    "comparison_row",
+    "figure6",
+    "figure7",
+    "figure8",
+    "format_cells",
+    "format_matrix",
+    "format_reports",
+    "format_rows",
+    "improvement_rows",
+    "overhead_report",
+    "plan_matrix",
+    "run_query",
+    "workbench",
+    "workbench_for_query",
+]

@@ -1,0 +1,83 @@
+"""Regenerate every table and figure from the command line.
+
+Usage::
+
+    python -m repro.bench                 # everything (slow: full sweep)
+    python -m repro.bench fig6 table1     # selected experiments
+    python -m repro.bench fig7 --sf 100   # one scale factor only
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import (
+    comparison,
+    overhead,
+    plans,
+    table1,
+)
+
+EXPERIMENTS = ("fig6", "fig7", "fig8", "table1", "plans")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    # note: no argparse `choices` here — with nargs="*" Python 3.11 rejects
+    # the empty (run-everything) invocation; validated manually below.
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"which experiments to run (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--sf",
+        type=int,
+        action="append",
+        help="restrict to these scale factors (repeatable)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+    unknown = [e for e in args.experiments if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments {unknown}; choose from {list(EXPERIMENTS)}")
+    chosen = args.experiments or list(EXPERIMENTS)
+    comparison_sfs = tuple(args.sf) if args.sf else (10, 100, 1000)
+    overhead_sfs = tuple(args.sf) if args.sf else (100, 1000)
+
+    if "fig6" in chosen:
+        print("=== Figure 6: re-optimization / online statistics / push-down overheads ===")
+        print(overhead.format_reports(overhead.figure6(overhead_sfs, seed=args.seed)))
+        print()
+    cells = None
+    if "fig7" in chosen or "table1" in chosen:
+        cells = comparison.figure7(comparison_sfs, seed=args.seed)
+    if "fig7" in chosen:
+        print("=== Figure 7: execution time comparison ===")
+        print(comparison.format_cells(cells))
+        print()
+    if "table1" in chosen:
+        print("=== Table 1: average improvement of the dynamic approach ===")
+        table_sfs = tuple(sf for sf in comparison_sfs if sf in (100, 1000)) or (100,)
+        print(table1.format_rows(table1.improvement_rows(cells, table_sfs)))
+        print()
+    if "fig8" in chosen:
+        print("=== Figure 8: comparison with INL join enabled ===")
+        print(comparison.format_cells(comparison.figure8(comparison_sfs, seed=args.seed)))
+        print()
+    if "plans" in chosen:
+        print("=== Appendix: plans generated per optimizer (Figures 11-23) ===")
+        print(plans.format_matrix(plans.plan_matrix(comparison_sfs, seed=args.seed)))
+        print(
+            plans.format_matrix(
+                plans.plan_matrix(comparison_sfs, inl_enabled=True, seed=args.seed)
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,97 @@
+"""Figure 7 / Figure 8: execution-time comparison across optimizers.
+
+Figure 7 compares the dynamic approach against static cost-based
+optimization, the user-order baselines (best/worst), pilot-run and the
+INGRES-like approach at scale factors 10/100/1000. Figure 8 repeats the
+comparison with secondary indexes present and the indexed nested loop join
+enabled (worst-order is excluded there, as in the paper: without hints it
+would never choose INL, so its time is unchanged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.runner import COMPARISON_OPTIMIZERS, QUERIES, run_query
+
+
+@dataclass(frozen=True)
+class ComparisonCell:
+    """One bar of Figure 7/8."""
+
+    query: str
+    scale_factor: int
+    optimizer: str
+    seconds: float
+    plan: str
+    result_rows: int
+
+
+def comparison_row(
+    query: str,
+    scale_factor: int,
+    inl_enabled: bool = False,
+    optimizers: tuple[str, ...] | None = None,
+    seed: int = 42,
+) -> list[ComparisonCell]:
+    """All optimizer timings for one (query, scale factor) group of bars."""
+    if optimizers is None:
+        optimizers = COMPARISON_OPTIMIZERS
+        if inl_enabled:
+            optimizers = tuple(o for o in optimizers if o != "worst_order")
+    cells = []
+    for optimizer in optimizers:
+        result = run_query(
+            query, scale_factor, optimizer, inl_enabled=inl_enabled, seed=seed
+        )
+        cells.append(
+            ComparisonCell(
+                query=query,
+                scale_factor=scale_factor,
+                optimizer=optimizer,
+                seconds=result.seconds,
+                plan=result.plan_description,
+                result_rows=len(result.rows),
+            )
+        )
+    return cells
+
+
+def figure7(scale_factors=(10, 100, 1000), seed: int = 42) -> list[ComparisonCell]:
+    """Every bar of Figure 7."""
+    cells = []
+    for scale_factor in scale_factors:
+        for query in QUERIES:
+            cells.extend(comparison_row(query, scale_factor, seed=seed))
+    return cells
+
+
+def figure8(scale_factors=(10, 100, 1000), seed: int = 42) -> list[ComparisonCell]:
+    """Every bar of Figure 8 (INL enabled, worst-order excluded)."""
+    cells = []
+    for scale_factor in scale_factors:
+        for query in QUERIES:
+            cells.extend(
+                comparison_row(query, scale_factor, inl_enabled=True, seed=seed)
+            )
+    return cells
+
+
+def format_cells(cells: list[ComparisonCell]) -> str:
+    """Render cells as the figure's groups of bars, in text."""
+    lines = []
+    groups: dict[tuple[int, str], list[ComparisonCell]] = {}
+    for cell in cells:
+        groups.setdefault((cell.scale_factor, cell.query), []).append(cell)
+    for (scale_factor, query), group in sorted(groups.items()):
+        lines.append(f"{query} @ SF {scale_factor} ({scale_factor}GB nominal)")
+        base = next(
+            (c.seconds for c in group if c.optimizer == "dynamic"), group[0].seconds
+        )
+        for cell in group:
+            ratio = cell.seconds / base if base else float("inf")
+            lines.append(
+                f"  {cell.optimizer:12s} {cell.seconds:10.1f}s"
+                f"  ({ratio:5.2f}x dynamic)  rows={cell.result_rows}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Figure 6: overhead of re-optimization points, online statistics, and
+predicate push-down.
+
+Left side (paper): three executions per query —
+
+1. the full dynamic run;
+2. "statistics upfront": the captured optimal plan executed as one
+   pipelined job (all statistics known from the start, no re-optimization);
+3. re-optimization points enabled but online statistics uncharged.
+
+``re-optimization overhead = (3) - (2)`` and ``online statistics overhead =
+(1) - (3)``, both reported relative to the full run — matching the paper's
+~10% (SF 100) to ~15-20% (SF 1000) re-optimization and 1-5% statistics
+figures.
+
+Right side: the baseline is again the upfront plan with inline filters; the
+"predicate push-down" variant runs the push-down materialization jobs first
+and then executes the *same* plan with the filtered leaves replaced by their
+materialized intermediates. The delta isolates the push-down materialization
+cost (≤3% in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+from repro.algebra.plan import JoinNode, LeafNode, PlanNode
+from repro.bench.runner import Workbench, workbench_for_query
+from repro.core.driver import DynamicOptimizer
+from repro.core.predicate_pushdown import execute_pushdowns
+from repro.engine.metrics import JobMetrics
+from repro.optimizers.base import execute_tree
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Figure 6 numbers for one (query, scale factor)."""
+
+    query: str
+    scale_factor: int
+    full_seconds: float
+    upfront_seconds: float
+    no_online_stats_seconds: float
+    pushdown_variant_seconds: float
+
+    @property
+    def reoptimization_fraction(self) -> float:
+        """Re-optimization overhead relative to the full dynamic run."""
+        return max(0.0, self.no_online_stats_seconds - self.upfront_seconds) / self.full_seconds
+
+    @property
+    def online_stats_fraction(self) -> float:
+        """Online statistics overhead relative to the full dynamic run."""
+        return max(0.0, self.full_seconds - self.no_online_stats_seconds) / self.full_seconds
+
+    @property
+    def pushdown_fraction(self) -> float:
+        """Predicate push-down materialization overhead vs the baseline."""
+        return (
+            self.pushdown_variant_seconds - self.upfront_seconds
+        ) / self.upfront_seconds
+
+
+def _tree_with_materialized_filters(
+    tree: PlanNode, intermediates: dict[str, str]
+) -> PlanNode:
+    """Replace filtered leaves by their push-down materializations."""
+    if isinstance(tree, LeafNode):
+        if tree.alias in intermediates:
+            return LeafNode(
+                alias=tree.alias,
+                dataset=intermediates[tree.alias],
+                predicates=(),
+                is_intermediate=True,
+            )
+        return tree
+    assert isinstance(tree, JoinNode)
+    return dc_replace(
+        tree,
+        build=_tree_with_materialized_filters(tree.build, intermediates),
+        probe=_tree_with_materialized_filters(tree.probe, intermediates),
+    )
+
+
+def _pushdown_variant_seconds(bench: Workbench, query, tree: PlanNode) -> float:
+    """Push-down materialization + same plan over the materialized leaves."""
+    session = bench.session
+    metrics = JobMetrics()
+    phases: list[str] = []
+    working = session.statistics.copy()
+    outcome = execute_pushdowns(query, session, working, metrics, phases)
+    swapped = _tree_with_materialized_filters(tree, outcome.intermediates)
+    result = execute_tree(swapped, outcome.query, session)
+    return metrics.total_seconds + result.seconds
+
+
+def overhead_report(query_label: str, scale_factor: int, seed: int = 42) -> OverheadReport:
+    """All Figure 6 measurements for one query at one scale factor."""
+    bench = workbench_for_query(query_label, scale_factor, seed)
+    query = bench.query(query_label)
+    session = bench.session
+    try:
+        dynamic = DynamicOptimizer()
+        full = dynamic.execute(query, session)
+        tree = dynamic.last_tree
+        session.reset_intermediates()
+
+        upfront = execute_tree(tree, query, session)
+        session.reset_intermediates()
+
+        no_stats = DynamicOptimizer(charge_online_stats=False).execute(query, session)
+        session.reset_intermediates()
+
+        pushdown_seconds = _pushdown_variant_seconds(bench, query, tree)
+        return OverheadReport(
+            query=query_label,
+            scale_factor=scale_factor,
+            full_seconds=full.seconds,
+            upfront_seconds=upfront.seconds,
+            no_online_stats_seconds=no_stats.seconds,
+            pushdown_variant_seconds=pushdown_seconds,
+        )
+    finally:
+        session.reset_intermediates()
+
+
+def figure6(scale_factors=(100, 1000), seed: int = 42) -> list[OverheadReport]:
+    """Every group of Figure 6 (both sides share these runs)."""
+    from repro.bench.runner import QUERIES
+
+    return [
+        overhead_report(label, scale_factor, seed)
+        for scale_factor in scale_factors
+        for label in QUERIES
+    ]
+
+
+def format_reports(reports: list[OverheadReport]) -> str:
+    lines = []
+    for r in reports:
+        lines.append(
+            f"{r.query} @ SF {r.scale_factor}: total={r.full_seconds:9.1f}s"
+            f"  re-opt={r.reoptimization_fraction * 100:5.1f}%"
+            f"  online-stats={r.online_stats_fraction * 100:4.1f}%"
+            f"  pushdown={r.pushdown_fraction * 100:+5.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Shared experiment infrastructure for the benchmark harness.
+
+Sessions are expensive to build (data generation + ingestion-time sketches),
+so they are cached per (workload, scale factor) and shared across
+experiments; every run resets materialized intermediates afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.metrics import ExecutionResult
+from repro.lang.ast import Query
+from repro.session import Session
+from repro.workloads import tpcds, tpch
+
+#: the paper's evaluation queries: label -> (workload module, query factory)
+QUERIES = {
+    "Q17": ("tpcds", tpcds.query_17),
+    "Q50": ("tpcds", tpcds.query_50),
+    "Q8": ("tpch", tpch.query_8),
+    "Q9": ("tpch", tpch.query_9),
+}
+
+SCALE_FACTORS = (10, 100, 1000)
+#: comparison order used in Figure 7 / Figure 8 outputs
+COMPARISON_OPTIMIZERS = (
+    "dynamic",
+    "cost_based",
+    "best_order",
+    "worst_order",
+    "pilot_run",
+    "ingres",
+)
+
+_WORKLOADS = {"tpch": tpch, "tpcds": tpcds}
+
+
+@dataclass
+class Workbench:
+    """One loaded workload instance."""
+
+    workload: str
+    scale_factor: int
+    session: Session
+    indexes_created: bool = False
+    _query_cache: dict = field(default_factory=dict)
+
+    def query(self, label: str) -> Query:
+        if label not in self._query_cache:
+            workload, factory = QUERIES[label]
+            if workload != self.workload:
+                raise KeyError(
+                    f"{label} belongs to {workload!r}, not {self.workload!r}"
+                )
+            self._query_cache[label] = factory()
+        return self._query_cache[label]
+
+    def ensure_indexes(self) -> None:
+        """Create the Figure-8 secondary indexes (idempotent)."""
+        if not self.indexes_created:
+            _WORKLOADS[self.workload].create_secondary_indexes(self.session)
+            self.indexes_created = True
+
+
+_CACHE: dict[tuple[str, int, int], Workbench] = {}
+
+
+def workbench(workload: str, scale_factor: int, seed: int = 42) -> Workbench:
+    """Cached session loaded with one workload at one scale factor."""
+    key = (workload, scale_factor, seed)
+    if key not in _CACHE:
+        session = Session()
+        _WORKLOADS[workload].load_into(session, scale_factor, seed)
+        _CACHE[key] = Workbench(workload, scale_factor, session)
+    return _CACHE[key]
+
+
+def workbench_for_query(label: str, scale_factor: int, seed: int = 42) -> Workbench:
+    return workbench(QUERIES[label][0], scale_factor, seed)
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def run_query(
+    label: str,
+    scale_factor: int,
+    optimizer: str,
+    inl_enabled: bool = False,
+    seed: int = 42,
+    **options,
+) -> ExecutionResult:
+    """Execute one evaluation query under one strategy; cleans up after."""
+    bench = workbench_for_query(label, scale_factor, seed)
+    if inl_enabled:
+        bench.ensure_indexes()
+        options["inl_enabled"] = True
+    query = bench.query(label)
+    try:
+        return bench.session.execute(query, optimizer=optimizer, **options)
+    finally:
+        bench.session.reset_intermediates()

@@ -1,0 +1,6 @@
+"""Simulated shared-nothing cluster: topology and cost model."""
+
+from repro.cluster.config import ClusterConfig, default_cluster
+from repro.cluster.cost import CostModel, CostParameters
+
+__all__ = ["ClusterConfig", "CostModel", "CostParameters", "default_cluster"]

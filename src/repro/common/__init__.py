@@ -1,0 +1,6 @@
+"""Shared primitives: schemas, errors, deterministic randomness."""
+
+from repro.common.errors import ReproError
+from repro.common.types import DataType, Field, Schema
+
+__all__ = ["DataType", "Field", "ReproError", "Schema"]

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or a field reference does not resolve."""
+
+
+class CatalogError(ReproError):
+    """A dataset or statistics entry is missing from a catalog."""
+
+
+class PlanError(ReproError):
+    """A logical or physical plan is malformed or cannot be compiled."""
+
+
+class QueryError(ReproError):
+    """A query specification is malformed (bad predicate, unknown dataset...)."""
+
+
+class ExecutionError(ReproError):
+    """A runtime job failed while executing."""
+
+
+class OptimizationError(ReproError):
+    """An optimizer could not produce a plan for a query."""
+
+
+class StatisticsError(ReproError):
+    """A statistics sketch was used incorrectly (e.g. empty-sketch query)."""
+
+
+class ParseError(QueryError):
+    """The miniature SQL parser rejected its input."""

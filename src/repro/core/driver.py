@@ -1,0 +1,312 @@
+"""The runtime dynamic optimization driver — Algorithm 1 of the paper.
+
+Orchestrates the full loop: predicate push-down jobs, the re-optimization
+loop (plan cheapest join -> construct job -> materialize + online statistics
+-> reconstruct query), and the two-join endgame whose job returns results to
+the user. Subclasses (the INGRES-like and pilot-run baselines) override the
+ranking function and the statistics source but reuse the machinery — which
+mirrors how the paper describes those comparisons.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.jobgen import build_final_job, build_sink_job
+from repro.algebra.plan import JoinNode, LeafNode, PlanNode
+from repro.common.errors import OptimizationError
+from repro.core.planner import (
+    Planner,
+    RankFunction,
+    rank_by_result_cardinality,
+)
+from repro.core.predicate_pushdown import execute_pushdowns
+from repro.core.reconstruction import reconstruct_after_join
+from repro.engine.metrics import ExecutionResult, JobMetrics
+from repro.lang.ast import Query
+from repro.optimizers.base import Optimizer
+from repro.algebra.toolkit import PlannerToolkit
+from repro.stats.catalog import StatisticsCatalog
+
+
+def resolve_logical(node: PlanNode, registry: dict[str, PlanNode]) -> PlanNode:
+    """Rewrite a plan over intermediates into one over the original tables.
+
+    Each materialized intermediate remembers the (already resolved) subtree
+    that produced it; substituting those subtrees yields the full logical
+    join tree the dynamic run effectively executed — the artifact the
+    appendix figures draw and the best-order baseline replays.
+    """
+    if isinstance(node, LeafNode):
+        return registry.get(node.dataset, node)
+    if isinstance(node, JoinNode):
+        return JoinNode(
+            build=resolve_logical(node.build, registry),
+            probe=resolve_logical(node.probe, registry),
+            build_keys=node.build_keys,
+            probe_keys=node.probe_keys,
+            algorithm=node.algorithm,
+            estimated_rows=node.estimated_rows,
+        )
+    raise OptimizationError(f"cannot resolve node type {type(node).__name__}")
+
+
+def greedy_full_plan(
+    query: Query,
+    session,
+    statistics: StatisticsCatalog,
+    inl_enabled: bool,
+) -> PlanNode:
+    """Estimate-only greedy join tree (no execution between decisions).
+
+    Used by the push-down-only mode (Figure 6 right): after predicate
+    materialization refines the statistics, the remaining joins are planned
+    in one shot by repeatedly merging the pair with the smallest estimated
+    result — the same greedy policy as the loop, minus the feedback.
+    """
+    toolkit = PlannerToolkit(query, session, statistics, inl_enabled)
+    nodes: list[PlanNode] = [toolkit.leaf(alias) for alias in query.aliases]
+    while len(nodes) > 1:
+        best = None
+        for i in range(len(nodes)):
+            for j in range(i + 1, len(nodes)):
+                conditions = toolkit.conditions_across(
+                    nodes[i].aliases, nodes[j].aliases
+                )
+                if not conditions:
+                    continue
+                candidate = toolkit.make_join(nodes[i], nodes[j], conditions)
+                if best is None or candidate.estimated_rows < best[0]:
+                    best = (candidate.estimated_rows, i, j, candidate)
+        if best is None:
+            raise OptimizationError("join graph is disconnected (cross product)")
+        _, i, j, joined = best
+        nodes = [n for k, n in enumerate(nodes) if k not in (i, j)] + [joined]
+    return nodes[0]
+
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DriverState:
+    """Resumable execution state of one dynamic run.
+
+    Everything the driver needs to continue after a re-optimization point:
+    the reconstructed query, the logical-subtree registry, accumulated
+    metrics/phases and the working statistics catalog. Together with the
+    intermediates already materialized in the session's dataset catalog this
+    is exactly the paper's Section-8 fault-tolerance checkpoint: "recover
+    from a failure by not having to start over from the beginning of a
+    long-running query".
+    """
+
+    original: Query
+    current: Query
+    working: StatisticsCatalog
+    registry: dict[str, "PlanNode"] = field(default_factory=dict)
+    metrics: JobMetrics = field(default_factory=JobMetrics)
+    phases: list[str] = field(default_factory=list)
+    iteration: int = 0
+
+
+class SimulatedFailure(RuntimeError):
+    """Raised by the failure injector; carries the last completed checkpoint."""
+
+    def __init__(self, checkpoint: DriverState) -> None:
+        super().__init__("simulated mid-query failure")
+        self.checkpoint = checkpoint
+
+
+class DynamicOptimizer(Optimizer):
+    """The paper's contribution: INGRES-style re-optimization + statistics."""
+
+    name = "dynamic"
+
+    def __init__(
+        self,
+        inl_enabled: bool = False,
+        pushdown_enabled: bool = True,
+        reoptimize_joins: bool = True,
+        charge_online_stats: bool = True,
+        collect_online_sketches: bool = True,
+        rank: RankFunction = rank_by_result_cardinality,
+        fail_after_jobs: int | None = None,
+    ) -> None:
+        self.inl_enabled = inl_enabled
+        self.pushdown_enabled = pushdown_enabled
+        self.reoptimize_joins = reoptimize_joins
+        self.charge_online_stats = charge_online_stats
+        self.collect_online_sketches = collect_online_sketches
+        self.rank = rank
+        #: failure injector: raise SimulatedFailure once this many jobs have
+        #: completed (testing the Section-8 checkpoint/resume story)
+        self.fail_after_jobs = fail_after_jobs
+        #: the resolved logical tree of the last execution (plan capture)
+        self.last_tree: PlanNode | None = None
+
+    # -- hooks for subclasses ---------------------------------------------------
+
+    def prepare_statistics(
+        self, query: Query, session, metrics: JobMetrics, phases: list[str]
+    ) -> StatisticsCatalog:
+        """Statistics the run starts from: ingestion-time sketches."""
+        return session.statistics.copy()
+
+    # -- main entry -------------------------------------------------------------
+
+    def execute(self, query: Query, session) -> ExecutionResult:
+        metrics = JobMetrics()
+        phases: list[str] = []
+        working = self.prepare_statistics(query, session, metrics, phases)
+        state = DriverState(
+            original=query,
+            current=query,
+            working=working,
+            metrics=metrics,
+            phases=phases,
+        )
+
+        if self.pushdown_enabled:
+            outcome = execute_pushdowns(
+                state.current, session, working, metrics, phases
+            )
+            state.current = outcome.query
+            for alias, name in outcome.intermediates.items():
+                state.registry[name] = LeafNode(
+                    alias=alias,
+                    dataset=query.table(alias).dataset,
+                    predicates=query.predicates_for(alias),
+                )
+            if not self.charge_online_stats:
+                # The Figure-6 "no online statistics" execution: sketches are
+                # still collected (identical plans) but their cost is refunded.
+                metrics.stats = 0.0
+        self._maybe_fail(state)
+
+        if not self.reoptimize_joins:
+            return self._single_shot(query, state, session)
+        return self.resume(state, session)
+
+    def resume(self, state: DriverState, session) -> ExecutionResult:
+        """Continue a run from a re-optimization-point checkpoint.
+
+        The intermediates the checkpoint references must still exist in the
+        session's dataset catalog (they do, unless ``reset_intermediates``
+        ran) — this is the paper's Section-8 recovery story: completed join
+        stages are never repeated after a failure.
+        """
+        query = state.original
+        while True:
+            toolkit = PlannerToolkit(
+                state.current, session, state.working, self.inl_enabled
+            )
+            planner = Planner(toolkit, self.rank)
+            if len(toolkit.join_graph()) <= 2:
+                break
+            picked = planner.cheapest_join()
+            name = f"__join_{state.iteration}"
+            keep, stats_columns = self._sink_columns(state.current, toolkit, picked)
+            tables_after = len(state.current.tables) - 1
+            if not self.collect_online_sketches or tables_after <= 3:
+                # Online statistics are skipped in the last loop iteration:
+                # "we know that we are not going to further re-optimize".
+                stats_columns = ()
+            job = build_sink_job(
+                picked.node,
+                name,
+                keep,
+                stats_columns,
+                session.datasets,
+                phase=f"join-{state.iteration}",
+            )
+            _, job_metrics = session.executor.execute(
+                job, query.parameters, state.working
+            )
+            if not self.charge_online_stats:
+                job_metrics.stats = 0.0
+            state.metrics.merge(job_metrics)
+            state.phases.append(f"join:{'+'.join(sorted(picked.pair))}")
+            state.registry[name] = resolve_logical(picked.node, state.registry)
+            state.current = reconstruct_after_join(
+                state.current, toolkit.resolver, picked.pair, name
+            )
+            state.iteration += 1
+            self._maybe_fail(state)
+
+        toolkit = PlannerToolkit(
+            state.current, session, state.working, self.inl_enabled
+        )
+        plan = Planner(toolkit, self.rank).final_plan()
+        job = build_final_job(plan, state.current, session.datasets)
+        data, job_metrics = session.executor.execute(
+            job, query.parameters, state.working
+        )
+        if not self.charge_online_stats:
+            job_metrics.stats = 0.0
+        state.metrics.merge(job_metrics)
+        state.phases.append("final")
+
+        self.last_tree = resolve_logical(plan, state.registry)
+        return ExecutionResult(
+            rows=data.all_rows(),
+            metrics=state.metrics,
+            plan_description=self.last_tree.describe(),
+            phases=state.phases,
+        )
+
+    def _maybe_fail(self, state: DriverState) -> None:
+        if self.fail_after_jobs is not None and state.metrics.jobs >= self.fail_after_jobs:
+            self.fail_after_jobs = None  # fail once
+            raise SimulatedFailure(state)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _sink_columns(
+        self, current: Query, toolkit: PlannerToolkit, picked
+    ) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """Columns the intermediate must keep / collect sketches on.
+
+        Keep = columns of the joined pair still referenced by the remaining
+        query; sketch only those that participate in subsequent join stages
+        (Section 5.3's "Online Statistics").
+        """
+        a, b = sorted(picked.pair)
+        pair_columns = toolkit.resolver.columns_of(a) | toolkit.resolver.columns_of(b)
+        remaining_joins = [
+            c
+            for c in current.joins
+            if frozenset(toolkit.resolver.join_sides(c)) != picked.pair
+        ]
+        referenced = set(current.select) | set(current.group_by) | set(current.order_by)
+        future_join_columns = set()
+        for condition in remaining_joins:
+            future_join_columns.add(condition.left)
+            future_join_columns.add(condition.right)
+        referenced |= future_join_columns
+        keep = tuple(sorted(pair_columns & referenced))
+        if not keep:
+            # Degenerate but legal: nothing downstream references the pair;
+            # keep the join keys so the intermediate is non-empty-schema.
+            keep = picked.node.probe_keys
+        stats_columns = tuple(sorted(pair_columns & future_join_columns))
+        return keep, stats_columns
+
+    def _single_shot(
+        self, original: Query, state: DriverState, session
+    ) -> ExecutionResult:
+        """Push-down-only mode: one job for all joins, planned greedily."""
+        plan = greedy_full_plan(
+            state.current, session, state.working, self.inl_enabled
+        )
+        job = build_final_job(plan, state.current, session.datasets)
+        data, job_metrics = session.executor.execute(
+            job, original.parameters, state.working
+        )
+        state.metrics.merge(job_metrics)
+        state.phases.append("single-shot")
+        self.last_tree = resolve_logical(plan, state.registry)
+        return ExecutionResult(
+            rows=data.all_rows(),
+            metrics=state.metrics,
+            plan_description=self.last_tree.describe(),
+            phases=state.phases,
+        )

@@ -1,0 +1,87 @@
+"""Predicate push-down execution (Algorithm 1 lines 6-9 and 20-23).
+
+Datasets with multiple local predicates or at least one complex (UDF /
+parameterized) predicate are wrapped in single-variable select-project
+queries and executed *first*. Each produces a materialized post-predicate
+dataset plus exact statistics, and the main query is rewritten to reference
+the materialization (Section 5.1's Q1 -> Q1').
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.jobgen import build_pushdown_job
+from repro.algebra.rules.pushdown import pushdown_candidates
+from repro.core.reconstruction import replace_filtered_table
+from repro.engine.metrics import JobMetrics
+from repro.lang.ast import Query
+from repro.lang.binding import ColumnResolver
+from repro.stats.catalog import StatisticsCatalog
+
+
+@dataclass
+class PushdownOutcome:
+    """Result of executing all qualifying push-down subqueries."""
+
+    query: Query
+    executed_aliases: list[str]
+    intermediates: dict[str, str]  # alias -> intermediate dataset name
+
+
+def intermediate_name_for(alias: str) -> str:
+    return f"__filtered_{alias}"
+
+
+def join_columns_of(query: Query) -> set[str]:
+    columns = set()
+    for condition in query.joins:
+        columns.add(condition.left)
+        columns.add(condition.right)
+    return columns
+
+
+def execute_pushdowns(
+    query: Query,
+    session,
+    working_statistics: StatisticsCatalog,
+    metrics: JobMetrics,
+    phases: list[str],
+) -> PushdownOutcome:
+    """Run every qualifying single-variable query; return the rewritten query.
+
+    Statistics for the filtered datasets are registered into
+    ``working_statistics`` under the intermediate's name (the paper "updates
+    the statistics attached to the base unfiltered datasets to depict the new
+    cardinalities" — here the rewrite points the alias at the new entry).
+    """
+    resolver = ColumnResolver(query, session.datasets.schema_lookup)
+    columns_of_alias = {alias: resolver.columns_of(alias) for alias in query.aliases}
+    candidates = pushdown_candidates(query, columns_of_alias)
+
+    current = query
+    executed = []
+    intermediates: dict[str, str] = {}
+    join_columns = join_columns_of(query)
+    for candidate in candidates:
+        alias = candidate.table.alias
+        name = intermediate_name_for(alias)
+        stats_columns = tuple(
+            c for c in candidate.keep_columns if c in join_columns
+        )
+        job = build_pushdown_job(
+            candidate.table,
+            candidate.predicates,
+            candidate.keep_columns,
+            name,
+            stats_columns,
+        )
+        _, job_metrics = session.executor.execute(
+            job, query.parameters, working_statistics
+        )
+        metrics.merge(job_metrics)
+        phases.append(f"pushdown:{alias}")
+        current = replace_filtered_table(current, alias, name)
+        executed.append(alias)
+        intermediates[alias] = name
+    return PushdownOutcome(current, executed, intermediates)

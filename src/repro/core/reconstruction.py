@@ -1,0 +1,60 @@
+"""Query Reconstruction (Algorithm 1 lines 35-39, Section 5.4).
+
+After a join (or a predicate push-down) executes and its result materializes
+as dataset ``d'``, the remaining query is rewritten:
+
+- the participating FROM entries are removed and replaced by ``d'``;
+- the executed join conditions are removed;
+- every other clause stays textually identical — this reproduction's
+  qualified-column convention means references like ``B.c`` remain valid
+  because the intermediate's physical columns keep their original names
+  (the paper's "suitable adjustment" of the WHERE clause becomes a no-op in
+  the column-name space, with the column resolver re-binding providers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.common.errors import QueryError
+from repro.lang.ast import Query, TableRef
+from repro.lang.binding import ColumnResolver
+
+
+def replace_filtered_table(query: Query, alias: str, intermediate: str) -> Query:
+    """Swap a FROM entry for its post-predicate materialization.
+
+    The alias is preserved (the intermediate's columns are qualified with
+    it), and the alias's local predicates are dropped — they have been
+    applied (Section 5.1's Q1 -> Q1' rewrite).
+    """
+    tables = tuple(
+        TableRef(intermediate, alias) if t.alias == alias else t
+        for t in query.tables
+    )
+    predicates = tuple(p for p in query.predicates if p.alias != alias)
+    return replace(query, tables=tables, predicates=predicates)
+
+
+def reconstruct_after_join(
+    query: Query,
+    resolver: ColumnResolver,
+    executed_pair: frozenset,
+    intermediate: str,
+) -> Query:
+    """Rewrite the query after the pair's join materialized as ``intermediate``."""
+    missing = [a for a in executed_pair if a not in query.aliases]
+    if missing:
+        raise QueryError(f"cannot reconstruct: aliases {missing} not in query")
+
+    tables = tuple(t for t in query.tables if t.alias not in executed_pair)
+    tables += (TableRef(intermediate, intermediate),)
+
+    joins = tuple(
+        condition
+        for condition in query.joins
+        if frozenset(resolver.join_sides(condition)) != executed_pair
+    )
+    # Local predicates of the merged tables were evaluated inside the job.
+    predicates = tuple(p for p in query.predicates if p.alias not in executed_pair)
+    return replace(query, tables=tables, joins=joins, predicates=predicates)

@@ -1,0 +1,8 @@
+"""Hyracks-like partitioned dataflow engine."""
+
+from repro.engine.data import PartitionedData
+from repro.engine.executor import Executor
+from repro.engine.job import Job
+from repro.engine.metrics import ExecutionResult, JobMetrics
+
+__all__ = ["ExecutionResult", "Executor", "Job", "JobMetrics", "PartitionedData"]

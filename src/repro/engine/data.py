@@ -1,0 +1,73 @@
+"""In-flight partitioned data between operators.
+
+Rows travel between operators as per-partition lists of dicts with
+*qualified* column names (``alias.field``). Alongside the rows we carry the
+column-type map (so intermediate schemas and byte widths can be derived) and
+the partitioning property (so the engine can skip re-partitioning when a join
+input is already hash-partitioned on the join key — the optimization the
+paper's Hash Join description calls out for key/foreign-key joins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import DataType, Field, Schema
+
+
+@dataclass
+class PartitionedData:
+    """Rows spread over cluster partitions plus their physical properties."""
+
+    partitions: list[list[dict]]
+    columns: dict[str, DataType]
+    partitioned_on: str | None = None
+    #: Modeled full-scale rows per stored row; the cost clock charges
+    #: ``row_count * scale`` (see DESIGN.md §2). Join outputs inherit the
+    #: larger input scale.
+    scale: float = 1.0
+
+    @property
+    def partition_count(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def row_count(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    @property
+    def modeled_rows(self) -> float:
+        """Row count of the modeled full-scale data in flight."""
+        return self.row_count * self.scale
+
+    @property
+    def row_width(self) -> int:
+        return sum(dtype.byte_width for dtype in self.columns.values()) + 8
+
+    @property
+    def byte_size(self) -> float:
+        return self.row_count * self.row_width
+
+    def all_rows(self) -> list[dict]:
+        rows: list[dict] = []
+        for partition in self.partitions:
+            rows.extend(partition)
+        return rows
+
+    def schema(self, primary_key: tuple[str, ...] = ()) -> Schema:
+        """Materialization schema for these columns (qualified names kept)."""
+        return Schema(
+            tuple(Field(name, dtype) for name, dtype in self.columns.items()),
+            primary_key,
+        )
+
+    def project(self, names: list[str] | tuple[str, ...]) -> "PartitionedData":
+        keep = [n for n in names if n in self.columns]
+        projected = [
+            [{name: row.get(name) for name in keep} for row in partition]
+            for partition in self.partitions
+        ]
+        part_key = self.partitioned_on if self.partitioned_on in keep else None
+        return PartitionedData(
+            projected, {n: self.columns[n] for n in keep}, part_key, self.scale
+        )

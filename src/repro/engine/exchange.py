@@ -1,0 +1,43 @@
+"""Data-movement connectors between operators.
+
+Two physical exchanges exist in the simulated Hyracks runtime, matching the
+paper's join descriptions (Section 3):
+
+- **hash exchange** — redistribute rows so equal keys land on the same
+  partition; every row crosses the network once.
+- **broadcast exchange** — replicate the (small) input to every partition.
+
+Both return new partition lists; the caller charges the cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.rng import stable_hash
+
+
+def hash_exchange(
+    partitions: list[list[dict]],
+    key_fn: Callable[[dict], object],
+    partition_count: int,
+) -> list[list[dict]]:
+    """Redistribute rows by hash of ``key_fn(row)``."""
+    out: list[list[dict]] = [[] for _ in range(partition_count)]
+    for partition in partitions:
+        for row in partition:
+            out[stable_hash(key_fn(row)) % partition_count].append(row)
+    return out
+
+
+def broadcast_exchange(partitions: list[list[dict]]) -> list[dict]:
+    """Gather the input into one list that every partition will receive.
+
+    The engine keeps one shared (read-only) copy rather than materializing
+    ``partition_count`` physical copies; the cost model still charges the
+    replication traffic.
+    """
+    gathered: list[dict] = []
+    for partition in partitions:
+        gathered.extend(partition)
+    return gathered

@@ -1,0 +1,65 @@
+"""Job execution against the simulated cluster.
+
+The executor wires together the cluster config, cost model, catalogs and
+evaluation context, runs jobs, and returns their output with per-job metrics.
+It is deliberately stateless between jobs except through the catalogs — which
+is exactly how re-optimization points communicate (materialized intermediates
+and their statistics live in the catalogs, not in the executor).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.cost import CostModel, CostParameters
+from repro.engine.data import PartitionedData
+from repro.engine.job import Job
+from repro.engine.metrics import JobMetrics
+from repro.engine.operators.base import ExecState
+from repro.lang.ast import EvaluationContext
+from repro.lang.udf import UdfRegistry, default_registry
+from repro.stats.catalog import StatisticsCatalog
+from repro.storage.catalog import DatasetCatalog
+
+
+class Executor:
+    """Runs :class:`~repro.engine.job.Job` trees and accounts their cost."""
+
+    def __init__(
+        self,
+        cluster: ClusterConfig,
+        datasets: DatasetCatalog,
+        statistics: StatisticsCatalog,
+        udfs: UdfRegistry | None = None,
+        cost_parameters: CostParameters | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.datasets = datasets
+        self.statistics = statistics
+        self.udfs = udfs or default_registry()
+        self.cost = CostModel(cluster, cost_parameters)
+
+    def execute(
+        self,
+        job: Job,
+        parameters: dict | None = None,
+        statistics: StatisticsCatalog | None = None,
+    ) -> tuple[PartitionedData, JobMetrics]:
+        """Run one job; returns its output data and this job's metrics.
+
+        ``statistics`` overrides the catalog that Sink operators register
+        online statistics into — optimizers pass their private working copy
+        so experiment runs never pollute the session's ingestion statistics.
+        """
+        metrics = JobMetrics()
+        metrics.jobs = 1
+        metrics.startup = self.cost.job_startup()
+        state = ExecState(
+            cluster=self.cluster,
+            cost=self.cost,
+            datasets=self.datasets,
+            statistics=statistics if statistics is not None else self.statistics,
+            evaluation=EvaluationContext(parameters or {}, self.udfs),
+            metrics=metrics,
+        )
+        data = job.root.run(state)
+        return data, metrics

@@ -1,0 +1,26 @@
+"""Hyracks-style jobs: a runnable operator tree with a label and phase tag.
+
+The dynamic optimization driver splits one query into several jobs (Figure
+4): predicate push-down jobs, per-iteration join jobs ending in a Sink, and
+the final job ending in DistributeResult. The phase tag keeps that structure
+visible for tests and plan dumps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.operators.base import PhysicalOperator
+
+
+@dataclass
+class Job:
+    """A runnable operator tree."""
+
+    root: PhysicalOperator
+    label: str = "job"
+    phase: str = ""
+
+    def render(self) -> str:
+        header = f"-- Job: {self.label}" + (f" [{self.phase}]" if self.phase else "")
+        return header + "\n" + self.root.render()

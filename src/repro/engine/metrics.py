@@ -1,0 +1,91 @@
+"""Simulated-time accounting for jobs and whole query executions.
+
+Figure 6 of the paper decomposes execution time into the baseline work, the
+re-optimization overhead (writing + reading materialized intermediates and
+the extra job launches), and the online-statistics overhead. The metrics
+object keeps those components separate so the overhead experiments can report
+them individually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class JobMetrics:
+    """Simulated seconds by activity, plus raw work counters, for one job."""
+
+    startup: float = 0.0
+    scan: float = 0.0
+    compute: float = 0.0
+    network: float = 0.0
+    materialize: float = 0.0
+    spill: float = 0.0
+    stats: float = 0.0
+    index: float = 0.0
+    output: float = 0.0
+
+    tuples_scanned: int = 0
+    tuples_joined: int = 0
+    rows_materialized: int = 0
+    index_lookups: int = 0
+    rows_out: int = 0
+    jobs: int = 0
+
+    _TIME_FIELDS = (
+        "startup",
+        "scan",
+        "compute",
+        "network",
+        "materialize",
+        "spill",
+        "stats",
+        "index",
+        "output",
+    )
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(getattr(self, name) for name in self._TIME_FIELDS)
+
+    @property
+    def reoptimization_seconds(self) -> float:
+        """The overhead Figure 6 attributes to re-optimization points:
+        materializing/re-reading intermediates plus extra job launches."""
+        return self.materialize + self.startup
+
+    @property
+    def stats_seconds(self) -> float:
+        """Online statistics collection overhead (Figure 6)."""
+        return self.stats
+
+    def merge(self, other: "JobMetrics") -> "JobMetrics":
+        """Accumulate another job's metrics into this one (in place)."""
+        for f in fields(self):
+            if f.name.startswith("_"):
+                continue
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def copy(self) -> "JobMetrics":
+        clone = JobMetrics()
+        clone.merge(self)
+        return clone
+
+    def breakdown(self) -> dict[str, float]:
+        return {name: getattr(self, name) for name in self._TIME_FIELDS}
+
+
+@dataclass
+class ExecutionResult:
+    """Final output of running a query under some optimizer."""
+
+    rows: list[dict]
+    metrics: JobMetrics
+    plan_description: str = ""
+    phases: list[str] = field(default_factory=list)
+
+    @property
+    def seconds(self) -> float:
+        return self.metrics.total_seconds

@@ -1,0 +1,32 @@
+"""Physical operators (Figure 4 vocabulary)."""
+
+from repro.engine.operators.base import ExecState, PhysicalOperator
+from repro.engine.operators.joins import (
+    BroadcastJoinOp,
+    HashJoinOp,
+    IndexNestedLoopJoinOp,
+    JoinAlgorithm,
+)
+from repro.engine.operators.scan import ReaderOp, ScanOp
+from repro.engine.operators.select import AssignOp, ProjectOp, SelectOp
+from repro.engine.operators.sink import DistributeResultOp, SinkOp
+from repro.engine.operators.tail import GroupByOp, LimitOp, OrderByOp
+
+__all__ = [
+    "AssignOp",
+    "BroadcastJoinOp",
+    "DistributeResultOp",
+    "ExecState",
+    "GroupByOp",
+    "HashJoinOp",
+    "IndexNestedLoopJoinOp",
+    "JoinAlgorithm",
+    "LimitOp",
+    "OrderByOp",
+    "PhysicalOperator",
+    "ProjectOp",
+    "ReaderOp",
+    "ScanOp",
+    "SelectOp",
+    "SinkOp",
+]

@@ -1,0 +1,57 @@
+"""Physical operator interface and shared execution state.
+
+A job is a tree of :class:`PhysicalOperator` nodes. ``run`` pulls the child
+outputs, performs the operator's work on real rows, charges the cost model
+through :class:`ExecState`, and returns :class:`PartitionedData`. This is a
+blocking, materialized evaluation of the tree — a deliberate simplification
+of Hyracks' pipelined frames that keeps costs and results exact while staying
+faithful to operator-level data movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.cost import CostModel
+from repro.engine.data import PartitionedData
+from repro.engine.metrics import JobMetrics
+from repro.lang.ast import EvaluationContext
+from repro.stats.catalog import StatisticsCatalog
+from repro.storage.catalog import DatasetCatalog
+
+
+@dataclass
+class ExecState:
+    """Everything an operator needs at run time."""
+
+    cluster: ClusterConfig
+    cost: CostModel
+    datasets: DatasetCatalog
+    statistics: StatisticsCatalog
+    evaluation: EvaluationContext
+    metrics: JobMetrics
+
+    def charge(self, component: str, seconds: float) -> None:
+        setattr(self.metrics, component, getattr(self.metrics, component) + seconds)
+
+
+class PhysicalOperator:
+    """Base class for all physical operators."""
+
+    #: Children evaluated before this operator (subclasses override).
+    children: tuple["PhysicalOperator", ...] = ()
+
+    def run(self, state: ExecState) -> PartitionedData:
+        raise NotImplementedError
+
+    def label(self) -> str:
+        """Short name used in plan rendering (Figure 4 vocabulary)."""
+        return type(self).__name__.replace("Op", "")
+
+    def render(self, indent: int = 0) -> str:
+        """ASCII rendering of the operator subtree."""
+        lines = ["  " * indent + self.label()]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Scan and Reader operators.
+
+``ScanOp`` reads a base dataset and qualifies its columns with the scan
+alias. ``ReaderOp`` reads a previously materialized intermediate (Figure 4:
+"the new operator introduced in this phase (Reader A') indicates that a
+datasource is not a base dataset") — its columns are already qualified and it
+is charged materialized-read I/O instead of base-scan I/O.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ExecutionError
+from repro.engine.data import PartitionedData
+from repro.engine.operators.base import ExecState, PhysicalOperator
+
+
+class ScanOp(PhysicalOperator):
+    """Full scan of a base dataset under an alias."""
+
+    def __init__(self, dataset: str, alias: str) -> None:
+        self.dataset = dataset
+        self.alias = alias
+
+    def run(self, state: ExecState) -> PartitionedData:
+        dataset = state.datasets.get(self.dataset)
+        if dataset.is_intermediate:
+            raise ExecutionError(
+                f"ScanOp targets base datasets; use ReaderOp for {self.dataset!r}"
+            )
+        prefix = f"{self.alias}."
+        partitions = [
+            [{prefix + key: value for key, value in row.items()} for row in partition]
+            for partition in dataset.partitions
+        ]
+        columns = {prefix + f.name: f.dtype for f in dataset.schema.fields}
+        partitioned_on = (
+            prefix + dataset.partition_key if dataset.partition_key else None
+        )
+        state.charge(
+            "scan", state.cost.scan(dataset.modeled_rows, dataset.schema.row_width)
+        )
+        state.metrics.tuples_scanned += dataset.row_count
+        return PartitionedData(partitions, columns, partitioned_on, dataset.scale)
+
+    def label(self) -> str:
+        return f"Scan {self.alias}" if self.alias == self.dataset else f"Scan {self.dataset} AS {self.alias}"
+
+
+class ReaderOp(PhysicalOperator):
+    """Read back a materialized re-optimization-point result."""
+
+    def __init__(self, dataset: str) -> None:
+        self.dataset = dataset
+
+    def run(self, state: ExecState) -> PartitionedData:
+        dataset = state.datasets.get(self.dataset)
+        if not dataset.is_intermediate:
+            raise ExecutionError(
+                f"ReaderOp targets intermediates; use ScanOp for {self.dataset!r}"
+            )
+        # Columns are already qualified; rows are shared read-only.
+        partitions = [list(partition) for partition in dataset.partitions]
+        columns = {f.name: f.dtype for f in dataset.schema.fields}
+        state.charge(
+            "materialize",
+            state.cost.read_materialized(dataset.modeled_rows, dataset.schema.row_width),
+        )
+        return PartitionedData(
+            partitions, columns, dataset.partition_key, dataset.scale
+        )
+
+    def label(self) -> str:
+        return f"Reader {self.dataset}"

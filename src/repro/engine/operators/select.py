@@ -1,0 +1,87 @@
+"""Row-level operators: Select (filter), Assign (derived column), Project.
+
+``AssignOp`` + ``SelectOp`` reproduce Figure 4's predicate push-down subjobs
+("Assign t — Select t=C"): the UDF value is computed into a temporary column
+and filtered. Query compilation usually folds the UDF into the predicate
+directly, but the split form is available for plan fidelity and tests.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import DataType
+from repro.engine.data import PartitionedData
+from repro.engine.operators.base import ExecState, PhysicalOperator
+from repro.lang.ast import Predicate
+
+
+class SelectOp(PhysicalOperator):
+    """Filter rows by a conjunction of local predicates."""
+
+    def __init__(self, child: PhysicalOperator, predicates: tuple[Predicate, ...]) -> None:
+        self.children = (child,)
+        self.predicates = tuple(predicates)
+
+    def run(self, state: ExecState) -> PartitionedData:
+        data = self.children[0].run(state)
+        evaluation = state.evaluation
+        filtered = [
+            [
+                row
+                for row in partition
+                if all(p.evaluate(row, evaluation) for p in self.predicates)
+            ]
+            for partition in data.partitions
+        ]
+        state.charge(
+            "compute",
+            state.cost.predicate_eval(data.modeled_rows, len(self.predicates)),
+        )
+        return PartitionedData(filtered, data.columns, data.partitioned_on, data.scale)
+
+    def label(self) -> str:
+        return "Select " + " AND ".join(p.describe() for p in self.predicates)
+
+
+class AssignOp(PhysicalOperator):
+    """Compute ``target = udf(column)`` into a new column."""
+
+    def __init__(
+        self, child: PhysicalOperator, target: str, udf: str, column: str
+    ) -> None:
+        self.children = (child,)
+        self.target = target
+        self.udf = udf
+        self.column = column
+
+    def run(self, state: ExecState) -> PartitionedData:
+        data = self.children[0].run(state)
+        fn = state.evaluation.udfs.get(self.udf)
+        for partition in data.partitions:
+            for row in partition:
+                row[self.target] = fn(row.get(self.column))
+        columns = dict(data.columns)
+        columns[self.target] = DataType.DOUBLE
+        state.charge("compute", state.cost.predicate_eval(data.modeled_rows, 1))
+        return PartitionedData(
+            data.partitions, columns, data.partitioned_on, data.scale
+        )
+
+    def label(self) -> str:
+        return f"Assign {self.target} = {self.udf}({self.column})"
+
+
+class ProjectOp(PhysicalOperator):
+    """Keep only the named (qualified) columns."""
+
+    def __init__(self, child: PhysicalOperator, columns: tuple[str, ...]) -> None:
+        self.children = (child,)
+        self.columns = tuple(columns)
+
+    def run(self, state: ExecState) -> PartitionedData:
+        data = self.children[0].run(state)
+        projected = data.project(self.columns)
+        state.charge("compute", state.cost.probe(data.modeled_rows))
+        return projected
+
+    def label(self) -> str:
+        return "Project " + ", ".join(self.columns)

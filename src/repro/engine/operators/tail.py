@@ -1,0 +1,111 @@
+"""Post-join operators: group-by, order-by, limit.
+
+Section 6.4: non-join operators "are evaluated after all the joins and
+selections have been completed". The reproduction supports the tails the four
+evaluation queries need: GROUP BY with an implicit COUNT(*), global ORDER BY,
+and LIMIT.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import DataType
+from repro.engine.data import PartitionedData
+from repro.engine.exchange import hash_exchange
+from repro.engine.operators.base import ExecState, PhysicalOperator
+
+
+class GroupByOp(PhysicalOperator):
+    """Hash-partitioned grouping on the key columns with a COUNT(*) output."""
+
+    def __init__(self, child: PhysicalOperator, keys: tuple[str, ...]) -> None:
+        self.children = (child,)
+        self.keys = tuple(keys)
+
+    def run(self, state: ExecState) -> PartitionedData:
+        data = self.children[0].run(state)
+        keys = self.keys
+        partitions = data.partitions
+        if data.partitioned_on not in keys:
+            partitions = hash_exchange(
+                partitions,
+                lambda row: tuple(row.get(k) for k in keys),
+                state.cluster.partitions,
+            )
+            state.charge(
+                "network", state.cost.hash_exchange(data.modeled_rows, data.row_width)
+            )
+        out_partitions: list[list[dict]] = []
+        for partition in partitions:
+            groups: dict = {}
+            for row in partition:
+                groups.setdefault(tuple(row.get(k) for k in keys), []).append(row)
+            grouped = []
+            for key_values, rows in groups.items():
+                out = dict(zip(keys, key_values))
+                out["count"] = len(rows)
+                grouped.append(out)
+            out_partitions.append(grouped)
+        state.charge("compute", state.cost.probe(data.modeled_rows))
+
+        # Group counts are per modeled group; the number of *groups* does not
+        # scale with the fact tables, so the output is unscaled.
+        columns = {k: data.columns.get(k, DataType.STRING) for k in keys}
+        columns["count"] = DataType.BIGINT
+        return PartitionedData(out_partitions, columns, None)
+
+    def label(self) -> str:
+        return "GroupBy " + ", ".join(self.keys)
+
+
+class OrderByOp(PhysicalOperator):
+    """Global sort: rows are gathered and ordered by the key columns."""
+
+    def __init__(self, child: PhysicalOperator, keys: tuple[str, ...]) -> None:
+        self.children = (child,)
+        self.keys = tuple(keys)
+
+    def run(self, state: ExecState) -> PartitionedData:
+        data = self.children[0].run(state)
+        rows = sorted(
+            data.all_rows(),
+            key=lambda row: tuple(_sort_key(row.get(k)) for k in self.keys),
+        )
+        state.charge("compute", state.cost.probe(data.modeled_rows) * 2)
+        partitions = [[] for _ in range(data.partition_count)]
+        partitions[0] = rows
+        return PartitionedData(partitions, data.columns, None, data.scale)
+
+    def label(self) -> str:
+        return "OrderBy " + ", ".join(self.keys)
+
+
+def _sort_key(value: object) -> tuple:
+    """Total order over mixed None/number/string values."""
+    if value is None:
+        return (0, "")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (1, value)
+    return (2, str(value))
+
+
+class LimitOp(PhysicalOperator):
+    """Keep the first ``n`` rows (in partition order)."""
+
+    def __init__(self, child: PhysicalOperator, n: int) -> None:
+        self.children = (child,)
+        self.n = n
+
+    def run(self, state: ExecState) -> PartitionedData:
+        data = self.children[0].run(state)
+        remaining = self.n
+        partitions = []
+        for partition in data.partitions:
+            take = partition[:remaining]
+            remaining -= len(take)
+            partitions.append(take)
+        return PartitionedData(
+            partitions, data.columns, data.partitioned_on, data.scale
+        )
+
+    def label(self) -> str:
+        return f"Limit {self.n}"

@@ -1,0 +1,39 @@
+"""Query model: AST, predicates, UDF registry, builder, column binding."""
+
+from repro.lang.ast import (
+    BetweenPredicate,
+    ComparisonPredicate,
+    EvaluationContext,
+    JoinCondition,
+    ParameterPredicate,
+    Predicate,
+    Query,
+    TableRef,
+    UdfPredicate,
+    split_column,
+)
+from repro.lang.binding import ColumnResolver, provided_columns
+from repro.lang.builder import QueryBuilder
+from repro.lang.udf import UdfRegistry, default_registry
+
+__all__ = [
+    "BetweenPredicate",
+    "ColumnResolver",
+    "ComparisonPredicate",
+    "EvaluationContext",
+    "JoinCondition",
+    "ParameterPredicate",
+    "Predicate",
+    "Query",
+    "QueryBuilder",
+    "TableRef",
+    "UdfPredicate",
+    "UdfRegistry",
+    "default_registry",
+    "provided_columns",
+    "split_column",
+]
+
+from repro.lang.parser import parse_query  # noqa: E402
+
+__all__.append("parse_query")

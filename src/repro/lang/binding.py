@@ -1,0 +1,82 @@
+"""Column resolution: which FROM-clause entry provides each column.
+
+With base tables the answer is the alias prefix; with intermediate datasets
+(products of earlier re-optimization iterations) the physical columns keep
+their *original* qualified names, so ``I_AB`` provides ``A.a`` and ``B.c``.
+The resolver therefore needs each dataset's schema, supplied by a lookup
+callable so this module stays independent of the storage layer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import QueryError
+from repro.common.types import Schema
+from repro.lang.ast import JoinCondition, Query, TableRef, split_column
+
+SchemaLookup = Callable[[str], Schema]
+
+
+def provided_columns(ref: TableRef, lookup: SchemaLookup) -> set[str]:
+    """Qualified column names provided by one FROM-clause entry."""
+    schema = lookup(ref.dataset)
+    columns = set()
+    for name in schema.field_names:
+        if "." in name:
+            # Intermediate dataset: columns are already qualified.
+            columns.add(name)
+        else:
+            columns.add(f"{ref.alias}.{name}")
+    return columns
+
+
+class ColumnResolver:
+    """Maps qualified columns to the FROM-clause alias providing them."""
+
+    def __init__(self, query: Query, lookup: SchemaLookup) -> None:
+        self.query = query
+        self._by_column: dict[str, str] = {}
+        for ref in query.tables:
+            for column in provided_columns(ref, lookup):
+                if column in self._by_column:
+                    raise QueryError(
+                        f"column {column!r} provided by both "
+                        f"{self._by_column[column]!r} and {ref.alias!r}"
+                    )
+                self._by_column[column] = ref.alias
+
+    def provider(self, column: str) -> str:
+        """Alias of the FROM entry providing ``column``."""
+        try:
+            return self._by_column[column]
+        except KeyError:
+            alias, _ = split_column(column)
+            raise QueryError(
+                f"column {column!r} is not provided by any FROM entry "
+                f"(aliases: {list(self.query.aliases)}; "
+                f"did iteration rewiring miss alias {alias!r}?)"
+            ) from None
+
+    def join_sides(self, condition: JoinCondition) -> tuple[str, str]:
+        """Aliases of the two FROM entries a join condition connects."""
+        return self.provider(condition.left), self.provider(condition.right)
+
+    def columns_of(self, alias: str) -> set[str]:
+        return {c for c, a in self._by_column.items() if a == alias}
+
+    def join_graph(self) -> dict[frozenset, list[JoinCondition]]:
+        """Group join conditions by the unordered pair of providers.
+
+        Self-join conditions (both sides resolved by the same alias, which
+        happens after the two original sides were merged into one
+        intermediate) are dropped: they were already applied by the join that
+        produced the intermediate.
+        """
+        graph: dict[frozenset, list[JoinCondition]] = {}
+        for condition in self.query.joins:
+            left, right = self.join_sides(condition)
+            if left == right:
+                continue
+            graph.setdefault(frozenset((left, right)), []).append(condition)
+        return graph

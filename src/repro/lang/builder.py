@@ -1,0 +1,112 @@
+"""Fluent construction of :class:`~repro.lang.ast.Query` objects.
+
+The builder is the primary public way to express queries (the mini SQL parser
+in :mod:`repro.lang.parser` compiles down to it). It validates incrementally
+so mistakes surface at the call site rather than deep inside the optimizer.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import QueryError
+from repro.lang.ast import (
+    BetweenPredicate,
+    ComparisonPredicate,
+    JoinCondition,
+    ParameterPredicate,
+    Predicate,
+    Query,
+    TableRef,
+    UdfPredicate,
+    split_column,
+)
+
+
+class QueryBuilder:
+    """Accumulates clauses and produces an immutable :class:`Query`."""
+
+    def __init__(self) -> None:
+        self._select: list[str] = []
+        self._tables: list[TableRef] = []
+        self._predicates: list[Predicate] = []
+        self._joins: list[JoinCondition] = []
+        self._group_by: list[str] = []
+        self._order_by: list[str] = []
+        self._limit: int | None = None
+        self._parameters: dict = {}
+
+    # -- clauses ----------------------------------------------------------------
+
+    def select(self, *columns: str) -> "QueryBuilder":
+        for column in columns:
+            split_column(column)  # validates the alias.field shape
+            self._select.append(column)
+        return self
+
+    def from_table(self, dataset: str, alias: str | None = None, *, broadcast_hint: bool = False) -> "QueryBuilder":
+        alias = alias or dataset
+        if any(t.alias == alias for t in self._tables):
+            raise QueryError(f"alias {alias!r} used twice in FROM clause")
+        self._tables.append(TableRef(dataset, alias, broadcast_hint))
+        return self
+
+    def where(self, predicate: Predicate) -> "QueryBuilder":
+        self._predicates.append(predicate)
+        return self
+
+    def where_compare(self, column: str, op: str, value: object) -> "QueryBuilder":
+        return self.where(ComparisonPredicate(column, op, value))
+
+    def where_eq(self, column: str, value: object) -> "QueryBuilder":
+        return self.where_compare(column, "=", value)
+
+    def where_between(self, column: str, low: object, high: object) -> "QueryBuilder":
+        return self.where(BetweenPredicate(column, low, high))
+
+    def where_param(self, column: str, op: str, parameter: str) -> "QueryBuilder":
+        return self.where(ParameterPredicate(column, op, parameter))
+
+    def where_udf(self, udf: str, column: str, op: str, value: object) -> "QueryBuilder":
+        return self.where(UdfPredicate(column, udf, op, value))
+
+    def join(self, left: str, right: str) -> "QueryBuilder":
+        split_column(left)
+        split_column(right)
+        self._joins.append(JoinCondition(left, right))
+        return self
+
+    def group_by(self, *columns: str) -> "QueryBuilder":
+        self._group_by.extend(columns)
+        return self
+
+    def order_by(self, *columns: str) -> "QueryBuilder":
+        self._order_by.extend(columns)
+        return self
+
+    def limit(self, n: int) -> "QueryBuilder":
+        if n < 0:
+            raise QueryError("LIMIT must be non-negative")
+        self._limit = n
+        return self
+
+    def bind(self, **parameters: object) -> "QueryBuilder":
+        """Bind runtime values for parameterized predicates."""
+        self._parameters.update(parameters)
+        return self
+
+    # -- finalize ---------------------------------------------------------------
+
+    def build(self) -> Query:
+        if not self._tables:
+            raise QueryError("query needs at least one table in FROM")
+        if not self._select:
+            raise QueryError("query needs a non-empty SELECT list")
+        return Query(
+            select=tuple(self._select),
+            tables=tuple(self._tables),
+            predicates=tuple(self._predicates),
+            joins=tuple(self._joins),
+            group_by=tuple(self._group_by),
+            order_by=tuple(self._order_by),
+            limit=self._limit,
+            parameters=dict(self._parameters),
+        )

@@ -1,0 +1,73 @@
+"""Optimization strategies: the dynamic approach and its five comparators.
+
+Imports are lazy (PEP 562) because the dynamic optimizer lives in
+``repro.core`` and subclasses/uses pieces from this package — eager imports
+in both directions would cycle.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+
+from repro.common.errors import OptimizationError
+from repro.optimizers.base import Optimizer, execute_tree
+
+#: name -> (module, class) for every registered strategy
+OPTIMIZERS = {
+    "dynamic": ("repro.core.driver", "DynamicOptimizer"),
+    "cost_based": ("repro.optimizers.static_cost", "CostBasedOptimizer"),
+    "from_order": ("repro.optimizers.from_order", "FromOrderOptimizer"),
+    "best_order": ("repro.optimizers.best_order", "BestOrderOptimizer"),
+    "worst_order": ("repro.optimizers.worst_order", "WorstOrderOptimizer"),
+    "pilot_run": ("repro.optimizers.pilot_run", "PilotRunOptimizer"),
+    "ingres": ("repro.optimizers.ingres", "IngresLikeOptimizer"),
+    "greedy_static": ("repro.optimizers.greedy_static", "GreedyStaticOptimizer"),
+}
+
+_LAZY_EXPORTS = {
+    "DynamicOptimizer": ("repro.core.driver", "DynamicOptimizer"),
+    "CostBasedOptimizer": ("repro.optimizers.static_cost", "CostBasedOptimizer"),
+    "FromOrderOptimizer": ("repro.optimizers.from_order", "FromOrderOptimizer"),
+    "BestOrderOptimizer": ("repro.optimizers.best_order", "BestOrderOptimizer"),
+    "WorstOrderOptimizer": ("repro.optimizers.worst_order", "WorstOrderOptimizer"),
+    "PilotRunOptimizer": ("repro.optimizers.pilot_run", "PilotRunOptimizer"),
+    "IngresLikeOptimizer": ("repro.optimizers.ingres", "IngresLikeOptimizer"),
+    "GreedyStaticOptimizer": ("repro.optimizers.greedy_static", "GreedyStaticOptimizer"),
+    "PlannerToolkit": ("repro.algebra.toolkit", "PlannerToolkit"),
+    "alias_stats_key": ("repro.algebra.toolkit", "alias_stats_key"),
+    "best_bushy_plan": ("repro.optimizers.enumeration", "best_bushy_plan"),
+    "from_order_plan": ("repro.optimizers.from_order", "from_order_plan"),
+}
+
+
+def optimizer_class(name: str):
+    """Resolve a registered optimizer name to its class."""
+    try:
+        module_name, class_name = OPTIMIZERS[name]
+    except KeyError:
+        raise OptimizationError(
+            f"unknown optimizer {name!r}; choose from {sorted(OPTIMIZERS)}"
+        ) from None
+    return getattr(import_module(module_name), class_name)
+
+
+def make_optimizer(name: str, **options) -> Optimizer:
+    """Instantiate a registered optimizer by name."""
+    return optimizer_class(name)(**options)
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPORTS:
+        module_name, attr = _LAZY_EXPORTS[name]
+        return getattr(import_module(module_name), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "OPTIMIZERS",
+    "Optimizer",
+    "execute_tree",
+    "make_optimizer",
+    "optimizer_class",
+    *sorted(_LAZY_EXPORTS),
+]

@@ -1,0 +1,47 @@
+"""Optimizer interface and plan-replay helper.
+
+Every optimization strategy implements :class:`Optimizer`: it receives a
+query and a session, drives however many jobs its approach needs, and returns
+an :class:`~repro.engine.metrics.ExecutionResult` whose metrics cover the
+whole execution (including any overhead jobs the strategy ran).
+"""
+
+from __future__ import annotations
+
+from repro.algebra.jobgen import build_final_job
+from repro.algebra.plan import PlanNode
+from repro.engine.metrics import ExecutionResult, JobMetrics
+from repro.lang.ast import Query
+
+
+class Optimizer:
+    """Base class for optimization strategies."""
+
+    #: registry key / display name
+    name = "base"
+
+    def execute(self, query: Query, session) -> ExecutionResult:
+        raise NotImplementedError
+
+
+def execute_tree(
+    tree: PlanNode, query: Query, session, label: str = ""
+) -> ExecutionResult:
+    """Run a fully annotated plan tree as one pipelined job.
+
+    This is how the best-order baseline and the Figure-6 "statistics
+    upfront" baseline run: the join tree is known in advance, so there are
+    no re-optimization points, no materialization, and no online statistics
+    — just a single job whose leaves filter inline.
+    """
+    job = build_final_job(tree, query, session.datasets)
+    data, job_metrics = session.executor.execute(
+        job, query.parameters, session.statistics.copy()
+    )
+    metrics = JobMetrics().merge(job_metrics)
+    return ExecutionResult(
+        rows=data.all_rows(),
+        metrics=metrics,
+        plan_description=tree.describe(),
+        phases=[label or "single-job"],
+    )

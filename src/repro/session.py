@@ -1,0 +1,132 @@
+"""Session: the top-level public entry point of the library.
+
+A session owns the simulated cluster, the dataset and statistics catalogs,
+the UDF registry, and the executor. Typical use::
+
+    from repro import Session
+    session = Session()
+    session.load("orders", orders_schema, rows)
+    result = session.execute(query, optimizer="dynamic")
+    print(result.seconds, result.plan_description)
+
+Intermediates created by re-optimization points are registered into the
+session catalogs; call :meth:`Session.reset_intermediates` between
+experiment runs (the benchmark harness does this automatically).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.config import ClusterConfig, default_cluster
+from repro.cluster.cost import CostParameters
+from repro.common.errors import OptimizationError
+from repro.common.types import Schema
+from repro.engine.executor import Executor
+from repro.engine.metrics import ExecutionResult
+from repro.lang.ast import Query
+from repro.lang.udf import UdfRegistry, default_registry
+from repro.stats.catalog import StatisticsCatalog
+from repro.storage.catalog import DatasetCatalog
+from repro.storage.dataset import Dataset
+from repro.storage.ingest import load_dataset
+
+
+class Session:
+    """One simulated BDMS instance: cluster + catalogs + executor."""
+
+    def __init__(
+        self,
+        cluster: ClusterConfig | None = None,
+        udfs: UdfRegistry | None = None,
+        cost_parameters: CostParameters | None = None,
+    ) -> None:
+        self.cluster = cluster or default_cluster()
+        self.datasets = DatasetCatalog()
+        self.statistics = StatisticsCatalog()
+        self.udfs = udfs or default_registry()
+        self.executor = Executor(
+            self.cluster,
+            self.datasets,
+            self.statistics,
+            self.udfs,
+            cost_parameters,
+        )
+
+    # -- data management ----------------------------------------------------
+
+    def load(
+        self, name: str, schema: Schema, rows: list[dict], scale: float = 1.0
+    ) -> Dataset:
+        """Ingest a base dataset, collecting ingestion-time statistics.
+
+        ``scale`` declares how many modeled full-scale rows each stored row
+        represents (DESIGN.md §2); the cost clock and broadcast decisions use
+        the modeled volumes.
+        """
+        return load_dataset(
+            name,
+            schema,
+            rows,
+            self.cluster,
+            self.datasets,
+            self.statistics,
+            scale=scale,
+        )
+
+    def create_index(self, dataset: str, field_name: str) -> None:
+        """Build a secondary index (enables INL as a join choice)."""
+        self.datasets.get(dataset).create_index(field_name)
+
+    def reset_intermediates(self) -> None:
+        """Drop all materialized intermediates and their statistics."""
+        for name in self.datasets.drop_intermediates():
+            self.statistics.remove(name)
+
+    # -- query execution ------------------------------------------------------
+
+    def execute(
+        self, query: Query, optimizer: str = "dynamic", **options
+    ) -> ExecutionResult:
+        """Optimize + execute ``query`` with one of the registered strategies.
+
+        ``optimizer`` is one of ``dynamic``, ``cost_based``, ``from_order``
+        (stock AsterixDB: joins follow the FROM clause), ``best_order``,
+        ``worst_order``, ``pilot_run``, ``ingres``. Extra keyword options are
+        forwarded to the optimizer (e.g. ``inl_enabled=True``).
+        """
+        from repro.optimizers import make_optimizer  # late import: avoids a cycle
+
+        strategy = make_optimizer(optimizer, **options)
+        return strategy.execute(query, self)
+
+    def optimizer_names(self) -> list[str]:
+        from repro.optimizers import OPTIMIZERS
+
+        return sorted(OPTIMIZERS)
+
+    def explain(self, query: Query, optimizer: str = "dynamic", **options) -> str:
+        """The plan ``optimizer`` would (or did) use, without keeping state.
+
+        Runtime dynamic optimization only *has* a final plan after running —
+        that is the paper's point — so for the feedback-driven strategies
+        this executes the query on the side and reports the captured tree;
+        static strategies plan without executing side effects either way.
+        Intermediates created along the way are cleaned up.
+        """
+        from repro.optimizers import make_optimizer
+
+        strategy = make_optimizer(optimizer, **options)
+        try:
+            result = strategy.execute(query, self)
+            return result.plan_description
+        finally:
+            self.reset_intermediates()
+
+    # -- introspection --------------------------------------------------------
+
+    def dataset_rows(self, name: str) -> int:
+        return self.datasets.get(name).row_count
+
+    def require_loaded(self, *names: str) -> None:
+        missing = [n for n in names if not self.datasets.has(n)]
+        if missing:
+            raise OptimizationError(f"datasets not loaded: {missing}")

@@ -1,0 +1,14 @@
+"""Statistical sketches: GK quantiles, HyperLogLog, histograms, reservoirs."""
+
+from repro.sketches.gk import GKQuantileSketch
+from repro.sketches.histogram import Bucket, EquiHeightHistogram
+from repro.sketches.hyperloglog import HyperLogLog
+from repro.sketches.reservoir import ReservoirSample
+
+__all__ = [
+    "Bucket",
+    "EquiHeightHistogram",
+    "GKQuantileSketch",
+    "HyperLogLog",
+    "ReservoirSample",
+]

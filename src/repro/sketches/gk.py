@@ -1,0 +1,195 @@
+"""Greenwald-Khanna epsilon-approximate quantile sketch.
+
+The paper (Section 4) collects quantile sketches following the
+Greenwald-Khanna algorithm [Wang et al., SIGMOD 2013 study] to extract the
+right borders of equi-height histogram buckets. This module implements the
+classic GK summary: a sorted list of tuples ``(value, g, delta)`` where the
+rank of ``value`` is known to within ``epsilon * n``.
+
+The sketch supports streaming insertion, merging (needed because statistics
+are collected per partition and merged at the re-optimization point), rank and
+quantile queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import StatisticsError
+
+
+@dataclass
+class _Entry:
+    """One GK summary tuple.
+
+    ``g`` is the gap between this entry's minimum rank and the previous
+    entry's, ``delta`` the uncertainty in the entry's rank.
+    """
+
+    value: float
+    g: int
+    delta: int
+
+
+class GKQuantileSketch:
+    """Streaming epsilon-approximate quantiles (Greenwald-Khanna 2001).
+
+    Parameters
+    ----------
+    epsilon:
+        Maximum rank error as a fraction of the stream length. Rank queries
+        are accurate to ``epsilon * n`` and quantile queries to the matching
+        value error.
+    """
+
+    def __init__(self, epsilon: float = 0.01) -> None:
+        if not 0 < epsilon < 1:
+            raise StatisticsError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.epsilon = epsilon
+        self._entries: list[_Entry] = []
+        self._count = 0
+        self._buffer: list[float] = []
+        # Buffering amortizes insertion cost: we sort and bulk-insert.
+        self._buffer_cap = max(16, int(1.0 / epsilon))
+
+    def __len__(self) -> int:
+        return self._count + len(self._buffer)
+
+    @property
+    def count(self) -> int:
+        return len(self)
+
+    def add(self, value: float) -> None:
+        """Insert one value into the sketch."""
+        self._buffer.append(value)
+        if len(self._buffer) >= self._buffer_cap:
+            self._flush()
+
+    def extend(self, values) -> None:
+        """Insert an iterable of values."""
+        for value in values:
+            self.add(value)
+
+    def _flush(self) -> None:
+        if not self._buffer:
+            return
+        for value in sorted(self._buffer):
+            self._insert_sorted(value)
+        self._buffer.clear()
+        self._compress()
+
+    def _insert_sorted(self, value: float) -> None:
+        entries = self._entries
+        self._count += 1
+        threshold = self._threshold()
+        # Find the first entry with a larger value.
+        lo, hi = 0, len(entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if entries[mid].value < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0 or lo == len(entries):
+            # New minimum or maximum is always exact.
+            entries.insert(lo, _Entry(value, 1, 0))
+        else:
+            delta = max(0, threshold - 1)
+            entries.insert(lo, _Entry(value, 1, delta))
+
+    def _threshold(self) -> int:
+        return max(1, int(2 * self.epsilon * self._count))
+
+    def _compress(self) -> None:
+        entries = self._entries
+        if len(entries) < 3:
+            return
+        threshold = self._threshold()
+        out = [entries[0]]
+        # Merge adjacent entries while the combined band stays within budget.
+        for entry in entries[1:-1]:
+            last = out[-1]
+            if last is not entries[0] and last.g + entry.g + entry.delta <= threshold:
+                entry.g += last.g
+                out[-1] = entry
+            else:
+                out.append(entry)
+        out.append(entries[-1])
+        self._entries = out
+
+    def rank(self, value: float) -> int:
+        """Approximate number of inserted values ``<= value``."""
+        self._flush()
+        if self._count == 0:
+            return 0
+        rmin = 0
+        for entry in self._entries:
+            if entry.value > value:
+                return rmin
+            rmin += entry.g
+        return self._count
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile (``0 <= q <= 1``) of the stream."""
+        if not 0 <= q <= 1:
+            raise StatisticsError(f"quantile fraction must be in [0, 1], got {q}")
+        self._flush()
+        if self._count == 0:
+            raise StatisticsError("cannot query quantiles of an empty sketch")
+        target = q * (self._count - 1) + 1
+        budget = self._threshold() / 2 + 1
+        rmin = 0
+        for i, entry in enumerate(self._entries):
+            rmin += entry.g
+            rmax = rmin + entry.delta
+            if target <= rmax + budget or i == len(self._entries) - 1:
+                if rmin + budget >= target:
+                    return entry.value
+        return self._entries[-1].value
+
+    def quantiles(self, buckets: int) -> list[float]:
+        """Right borders of ``buckets`` equi-height buckets (Section 4).
+
+        Returns ``buckets`` values; the last is the stream maximum.
+        """
+        if buckets < 1:
+            raise StatisticsError("bucket count must be >= 1")
+        return [self.quantile((i + 1) / buckets) for i in range(buckets)]
+
+    @property
+    def minimum(self) -> float:
+        self._flush()
+        if self._count == 0:
+            raise StatisticsError("empty sketch has no minimum")
+        return self._entries[0].value
+
+    @property
+    def maximum(self) -> float:
+        self._flush()
+        if self._count == 0:
+            raise StatisticsError("empty sketch has no maximum")
+        return self._entries[-1].value
+
+    def merge(self, other: "GKQuantileSketch") -> "GKQuantileSketch":
+        """Merge two sketches into a new one.
+
+        The merged sketch honours ``max(self.epsilon, other.epsilon)``; per
+        the standard GK merge, summaries are interleaved by value and
+        recompressed.
+        """
+        self._flush()
+        other._flush()
+        merged = GKQuantileSketch(max(self.epsilon, other.epsilon))
+        entries = sorted(
+            (_Entry(e.value, e.g, e.delta) for e in self._entries + other._entries),
+            key=lambda e: e.value,
+        )
+        merged._entries = entries
+        merged._count = self._count + other._count
+        merged._compress()
+        return merged
+
+    def summary_size(self) -> int:
+        """Number of retained summary entries (space bound check)."""
+        self._flush()
+        return len(self._entries)

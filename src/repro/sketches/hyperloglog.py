@@ -1,0 +1,100 @@
+"""HyperLogLog distinct-count sketch.
+
+Formula (1) in the paper divides by ``max(U(A.k), U(B.k))``, the number of
+unique join-key values, estimated with HyperLogLog [Flajolet et al. 2007].
+This implementation uses 2**p registers with the standard bias correction and
+linear counting for the small-cardinality range, plus lossless merge (needed
+to combine per-partition sketches).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.errors import StatisticsError
+from repro.common.rng import stable_hash
+
+
+def _alpha(m: int) -> float:
+    if m == 16:
+        return 0.673
+    if m == 32:
+        return 0.697
+    if m == 64:
+        return 0.709
+    return 0.7213 / (1 + 1.079 / m)
+
+
+class HyperLogLog:
+    """HyperLogLog cardinality estimator.
+
+    Parameters
+    ----------
+    precision:
+        Number of index bits ``p``; the sketch keeps ``2**p`` registers and
+        has a relative standard error of about ``1.04 / sqrt(2**p)``.
+    """
+
+    def __init__(self, precision: int = 12) -> None:
+        if not 4 <= precision <= 18:
+            raise StatisticsError(f"precision must be in [4, 18], got {precision}")
+        self.precision = precision
+        self._m = 1 << precision
+        self._registers = bytearray(self._m)
+        self._count = 0  # raw insertions, handy for tests/diagnostics
+
+    def add(self, value: object) -> None:
+        """Insert one value (any hashable/reprable object)."""
+        h = stable_hash(value)
+        index = h & (self._m - 1)
+        remaining = h >> self.precision
+        # Rank of the first set bit in the remaining 64-p bits (1-based).
+        rank = 1
+        bits = 64 - self.precision
+        while remaining & 1 == 0 and rank <= bits:
+            rank += 1
+            remaining >>= 1
+        if rank > self._registers[index]:
+            self._registers[index] = rank
+        self._count += 1
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.add(value)
+
+    def cardinality(self) -> float:
+        """Estimated number of distinct inserted values."""
+        m = self._m
+        inverse_sum = 0.0
+        zeros = 0
+        for register in self._registers:
+            inverse_sum += 2.0 ** (-register)
+            if register == 0:
+                zeros += 1
+        estimate = _alpha(m) * m * m / inverse_sum
+        if estimate <= 2.5 * m and zeros:
+            # Linear counting regime.
+            return m * math.log(m / zeros)
+        return estimate
+
+    def merge(self, other: "HyperLogLog") -> "HyperLogLog":
+        """Return a new sketch equivalent to observing both streams."""
+        if self.precision != other.precision:
+            raise StatisticsError(
+                f"cannot merge HLLs of different precision "
+                f"({self.precision} vs {other.precision})"
+            )
+        merged = HyperLogLog(self.precision)
+        merged._registers = bytearray(
+            max(a, b) for a, b in zip(self._registers, other._registers)
+        )
+        merged._count = self._count + other._count
+        return merged
+
+    @property
+    def relative_error(self) -> float:
+        """Expected relative standard error for this precision."""
+        return 1.04 / math.sqrt(self._m)
+
+    def __len__(self) -> int:
+        return self._count

@@ -1,0 +1,58 @@
+"""Reservoir sampling, used by the pilot-run baseline.
+
+The pilot-run approach [Karanasos et al. 2014] runs select-project queries
+over a *sample* of each base dataset, stopping after ``k`` tuples have been
+output (the paper simulates this with a LIMIT clause). We provide a classic
+Algorithm-R reservoir so samples are uniform and deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterable, TypeVar
+
+from repro.common.errors import StatisticsError
+from repro.common.rng import derive
+
+T = TypeVar("T")
+
+
+class ReservoirSample(Generic[T]):
+    """Uniform fixed-size sample of a stream (Vitter's Algorithm R)."""
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity < 1:
+            raise StatisticsError("reservoir capacity must be >= 1")
+        self.capacity = capacity
+        self._rng = derive(seed, "reservoir", capacity)
+        self._items: list[T] = []
+        self._seen = 0
+
+    def add(self, item: T) -> None:
+        self._seen += 1
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return
+        j = self._rng.randrange(self._seen)
+        if j < self.capacity:
+            self._items[j] = item
+
+    def extend(self, items: Iterable[T]) -> None:
+        for item in items:
+            self.add(item)
+
+    @property
+    def items(self) -> list[T]:
+        """The current sample (at most ``capacity`` items)."""
+        return list(self._items)
+
+    @property
+    def seen(self) -> int:
+        """Total number of items observed."""
+        return self._seen
+
+    @property
+    def sampling_fraction(self) -> float:
+        """Fraction of the stream retained (1.0 while under capacity)."""
+        if self._seen == 0:
+            return 1.0
+        return min(1.0, self.capacity / self._seen)

@@ -1,0 +1,104 @@
+"""Streaming statistics collection over rows.
+
+The Sink operator (Section 6.3) materializes intermediate data "while also
+gathering statistics on them"; ingestion (Section 7, experimental setup)
+gathers the same statistics upfront during loading. Both paths use this
+collector: for each tracked field it maintains a GK quantile sketch and a
+HyperLogLog sketch in parallel (Section 4: "the gathering of these two
+statistical types happens in parallel").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sketches.gk import GKQuantileSketch
+from repro.sketches.histogram import EquiHeightHistogram
+from repro.sketches.hyperloglog import HyperLogLog
+
+
+@dataclass
+class FieldStatistics:
+    """Sketches collected for one field of one dataset."""
+
+    field_name: str
+    quantiles: GKQuantileSketch = field(default_factory=GKQuantileSketch)
+    distinct: HyperLogLog = field(default_factory=HyperLogLog)
+    null_count: int = 0
+
+    def observe(self, value: object) -> None:
+        if value is None:
+            self.null_count += 1
+            return
+        self.distinct.add(value)
+        numeric = _as_numeric(value)
+        if numeric is not None:
+            self.quantiles.add(numeric)
+
+    @property
+    def distinct_count(self) -> float:
+        """HLL estimate of the number of distinct non-null values."""
+        return max(1.0, self.distinct.cardinality())
+
+    def histogram(self, bucket_count: int = 32) -> EquiHeightHistogram | None:
+        """Equi-height histogram, or None for non-numeric fields."""
+        if len(self.quantiles) == 0:
+            return None
+        return EquiHeightHistogram.from_sketch(self.quantiles, bucket_count)
+
+    def merge(self, other: "FieldStatistics") -> "FieldStatistics":
+        merged = FieldStatistics(self.field_name)
+        merged.quantiles = self.quantiles.merge(other.quantiles)
+        merged.distinct = self.distinct.merge(other.distinct)
+        merged.null_count = self.null_count + other.null_count
+        return merged
+
+
+def _as_numeric(value: object) -> float | None:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None
+
+
+class StatisticsCollector:
+    """Collects per-field sketches plus the row count for one dataset.
+
+    Parameters
+    ----------
+    tracked_fields:
+        The fields to sketch. At ingestion time this is "every field of a
+        dataset that may participate in any query" (Section 4); for online
+        statistics it is "only attributes that participate in subsequent join
+        stages" (Section 5.3) — the caller decides.
+    """
+
+    def __init__(self, tracked_fields: list[str] | tuple[str, ...]) -> None:
+        self.fields = {name: FieldStatistics(name) for name in tracked_fields}
+        self.row_count = 0
+
+    def observe_row(self, row: dict) -> None:
+        self.row_count += 1
+        for name, stats in self.fields.items():
+            stats.observe(row.get(name))
+
+    def observe_rows(self, rows) -> None:
+        for row in rows:
+            self.observe_row(row)
+
+    @property
+    def tracked_field_names(self) -> list[str]:
+        return list(self.fields)
+
+    def field(self, name: str) -> FieldStatistics:
+        return self.fields[name]
+
+    def sketch_cost_units(self) -> int:
+        """Work units charged by the cost model for this collection pass.
+
+        One unit per (row, tracked field): the extra time for statistics
+        "depends on the number of attributes for which we need to keep
+        statistics for" (Section 7.1).
+        """
+        return self.row_count * max(1, len(self.fields))

@@ -1,0 +1,122 @@
+"""CORDS-style correlation discovery between column pairs.
+
+The paper attributes static misestimation partly to "undetected correlations
+between multiple predicates local to a single dataset" and cites CORDS
+[Ilyas et al., SIGMOD 2004] as the line of work that *detects* such
+correlations offline. This module implements the sampling-based core of that
+idea: for a pair of columns, compare the number of distinct *value pairs*
+against the product of per-column distinct counts. Independent columns have
+|distinct(a,b)| ≈ |distinct(a)| * |distinct(b)| (capped by the row count);
+a strong functional dependency collapses it toward max(|a|, |b|).
+
+It powers the correlation-aware estimation ablation: a static optimizer
+equipped with discovered column correlations can correct the independence
+assumption for fixed-value predicate pairs — but, as the paper argues, this
+still cannot help with parameterized values or UDFs, which only runtime
+execution can measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import StatisticsError
+from repro.sketches.hyperloglog import HyperLogLog
+
+
+@dataclass(frozen=True)
+class ColumnCorrelation:
+    """Discovered relationship between two columns of one dataset."""
+
+    column_a: str
+    column_b: str
+    distinct_a: float
+    distinct_b: float
+    distinct_pairs: float
+    rows: int
+
+    @property
+    def independence_expectation(self) -> float:
+        """Distinct pairs expected if the columns were independent."""
+        return min(float(self.rows), self.distinct_a * self.distinct_b)
+
+    @property
+    def correlation_strength(self) -> float:
+        """0 = independent, 1 = perfect functional dependency.
+
+        Measures how far the observed pair count falls below the
+        independence expectation, normalized to the gap between
+        independence and perfect dependency.
+        """
+        expected = self.independence_expectation
+        floor = max(self.distinct_a, self.distinct_b)
+        if expected <= floor:
+            return 0.0
+        observed = max(floor, min(self.distinct_pairs, expected))
+        return (expected - observed) / (expected - floor)
+
+    @property
+    def is_correlated(self) -> bool:
+        """CORDS-style verdict with the conventional 0.3 threshold."""
+        return self.correlation_strength > 0.3
+
+
+class CorrelationDetector:
+    """Streams rows once and sketches all requested column pairs."""
+
+    def __init__(self, column_pairs: list[tuple[str, str]], precision: int = 12) -> None:
+        if not column_pairs:
+            raise StatisticsError("need at least one column pair")
+        self.pairs = [tuple(sorted(pair)) for pair in column_pairs]
+        self._singles: dict[str, HyperLogLog] = {}
+        for a, b in self.pairs:
+            self._singles.setdefault(a, HyperLogLog(precision))
+            self._singles.setdefault(b, HyperLogLog(precision))
+        self._pair_sketches = {pair: HyperLogLog(precision) for pair in self.pairs}
+        self._rows = 0
+
+    def observe_row(self, row: dict) -> None:
+        self._rows += 1
+        for column, sketch in self._singles.items():
+            value = row.get(column)
+            if value is not None:
+                sketch.add(value)
+        for (a, b), sketch in self._pair_sketches.items():
+            va, vb = row.get(a), row.get(b)
+            if va is not None and vb is not None:
+                sketch.add((repr(va), repr(vb)))
+
+    def observe_rows(self, rows) -> None:
+        for row in rows:
+            self.observe_row(row)
+
+    def result(self, column_a: str, column_b: str) -> ColumnCorrelation:
+        pair = tuple(sorted((column_a, column_b)))
+        if pair not in self._pair_sketches:
+            raise StatisticsError(f"pair {pair} was not tracked")
+        a, b = pair
+        return ColumnCorrelation(
+            column_a=a,
+            column_b=b,
+            distinct_a=max(1.0, self._singles[a].cardinality()),
+            distinct_b=max(1.0, self._singles[b].cardinality()),
+            distinct_pairs=max(1.0, self._pair_sketches[pair].cardinality()),
+            rows=self._rows,
+        )
+
+    def results(self) -> list[ColumnCorrelation]:
+        return [self.result(a, b) for a, b in self.pairs]
+
+
+def discover_correlations(
+    dataset, column_pairs: list[tuple[str, str]], sample_limit: int | None = 2000
+) -> list[ColumnCorrelation]:
+    """Run the detector over a stored dataset (optionally a prefix sample)."""
+    detector = CorrelationDetector(column_pairs)
+    seen = 0
+    for row in dataset.rows():
+        detector.observe_row(row)
+        seen += 1
+        if sample_limit is not None and seen >= sample_limit:
+            break
+    return detector.results()

@@ -1,0 +1,54 @@
+"""Dataset catalog: the storage-level registry of base and intermediate data.
+
+The catalog owns datasets; the statistics catalog (``repro.stats``) owns what
+the optimizer believes about them. They are registered together at ingestion
+and at every re-optimization point's materialization.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CatalogError
+from repro.common.types import Schema
+from repro.storage.dataset import Dataset
+
+
+class DatasetCatalog:
+    """Name -> :class:`Dataset` registry with schema lookup for binding."""
+
+    def __init__(self) -> None:
+        self._datasets: dict[str, Dataset] = {}
+
+    def register(self, dataset: Dataset) -> None:
+        if dataset.name in self._datasets:
+            raise CatalogError(f"dataset {dataset.name!r} already registered")
+        self._datasets[dataset.name] = dataset
+
+    def replace(self, dataset: Dataset) -> None:
+        """Register or overwrite (used when re-running experiments)."""
+        self._datasets[dataset.name] = dataset
+
+    def get(self, name: str) -> Dataset:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise CatalogError(f"unknown dataset {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        return name in self._datasets
+
+    def drop(self, name: str) -> None:
+        self._datasets.pop(name, None)
+
+    def drop_intermediates(self) -> list[str]:
+        """Remove all materialized intermediates (between experiment runs)."""
+        doomed = [n for n, d in self._datasets.items() if d.is_intermediate]
+        for name in doomed:
+            del self._datasets[name]
+        return doomed
+
+    def names(self) -> list[str]:
+        return sorted(self._datasets)
+
+    def schema_lookup(self, name: str) -> Schema:
+        """Schema accessor in the shape :mod:`repro.lang.binding` expects."""
+        return self.get(name).schema

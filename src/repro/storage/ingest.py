@@ -1,0 +1,77 @@
+"""Dataset ingestion with upfront statistics collection.
+
+The paper exploits "AsterixDB's LSM ingestion process to get initial
+statistics for base datasets" (Section 2): quantile and HyperLogLog sketches
+are built once, while loading, for every field that may participate in a
+query — outside query execution time. ``load_dataset`` reproduces that
+contract: it partitions the rows, registers the dataset, and registers the
+ingestion-time statistics.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.config import ClusterConfig
+from repro.common.types import Schema
+from repro.stats.catalog import DatasetStatistics, StatisticsCatalog
+from repro.stats.collector import StatisticsCollector
+from repro.storage.catalog import DatasetCatalog
+from repro.storage.dataset import Dataset, partition_rows
+
+
+def load_dataset(
+    name: str,
+    schema: Schema,
+    rows: list[dict],
+    cluster: ClusterConfig,
+    datasets: DatasetCatalog,
+    statistics: StatisticsCatalog,
+    tracked_fields: list[str] | None = None,
+    scale: float = 1.0,
+) -> Dataset:
+    """Load ``rows`` as a new base dataset and collect its statistics.
+
+    ``tracked_fields`` defaults to every field in the schema (Section 4:
+    "we collect these types of statistics for every field of a dataset that
+    may participate in any query"). ``scale`` is the modeled full-scale rows
+    per stored row (DESIGN.md §2).
+    """
+    partition_key = schema.primary_key[0] if schema.primary_key else None
+    dataset = Dataset(
+        name=name,
+        schema=schema,
+        partitions=partition_rows(rows, cluster.partitions, partition_key),
+        partition_key=partition_key,
+        scale=scale,
+    )
+    datasets.register(dataset)
+
+    collector = StatisticsCollector(tracked_fields or list(schema.field_names))
+    collector.observe_rows(rows)
+    statistics.register_from_collector(name, collector, schema.row_width, scale)
+    return dataset
+
+
+def register_intermediate(
+    name: str,
+    schema: Schema,
+    partitions: list[list[dict]],
+    partition_key: str | None,
+    datasets: DatasetCatalog,
+    scale: float = 1.0,
+) -> Dataset:
+    """Register a materialized re-optimization-point result.
+
+    Statistics are *not* collected here: the Sink operator collects them
+    online during the producing job (and only when another re-optimization
+    will happen), so registration stays cheap.
+    """
+    dataset = Dataset(
+        name=name,
+        schema=schema,
+        partitions=partitions,
+        partition_key=partition_key,
+        is_intermediate=True,
+        scale=scale,
+    )
+    datasets.replace(dataset)
+    return dataset

@@ -1,0 +1,134 @@
+"""Reference query evaluation for correctness checking.
+
+``evaluate_reference`` executes a query by brute force — qualify every row,
+apply all local predicates, nested-loop all joins, then the group-by /
+order-by / limit tail — with no optimizer, no partitioning and no cost model
+involved. Every optimizer's output must match it row-for-row; the test suite
+and downstream users use it as the ground truth oracle.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import QueryError
+from repro.lang.ast import EvaluationContext, Query
+from repro.lang.binding import ColumnResolver
+
+
+def _qualified_rows(session, query: Query, alias: str) -> list[dict]:
+    table = query.table(alias)
+    dataset = session.datasets.get(table.dataset)
+    prefix = f"{alias}."
+    if dataset.is_intermediate:
+        return [dict(row) for row in dataset.rows()]
+    return [{prefix + key: value for key, value in row.items()} for row in dataset.rows()]
+
+
+def evaluate_reference(query: Query, session) -> list[dict]:
+    """Brute-force evaluation of ``query`` against the session's datasets.
+
+    Suitable for the scaled-down test universes only: the join is a
+    filter-then-nested-loop over the cross product of FROM entries, pruned
+    pairwise to keep small cases fast.
+    """
+    context = EvaluationContext(query.parameters, session.udfs)
+    resolver = ColumnResolver(query, session.datasets.schema_lookup)
+
+    per_alias: dict[str, list[dict]] = {}
+    for alias in query.aliases:
+        rows = _qualified_rows(session, query, alias)
+        predicates = query.predicates_for(alias)
+        if predicates:
+            rows = [
+                row
+                for row in rows
+                if all(p.evaluate(row, context) for p in predicates)
+            ]
+        per_alias[alias] = rows
+
+    # Join greedily along the join graph (pairwise hash joins on exact
+    # values) to avoid materializing the cross product.
+    remaining = dict(per_alias)
+    graph = resolver.join_graph()
+    if not graph and len(remaining) > 1:
+        raise QueryError("reference evaluator does not support cross products")
+
+    merged_aliases: dict[str, frozenset] = {a: frozenset((a,)) for a in remaining}
+    conditions = list(query.joins)
+    while conditions:
+        progressed = False
+        for condition in list(conditions):
+            left_alias = resolver.provider(condition.left)
+            right_alias = resolver.provider(condition.right)
+            left_key = next(k for k, v in merged_aliases.items() if left_alias in v)
+            right_key = next(k for k, v in merged_aliases.items() if right_alias in v)
+            if left_key == right_key:
+                # Sides already merged: apply as a residual filter.
+                remaining[left_key] = [
+                    row
+                    for row in remaining[left_key]
+                    if row.get(condition.left) == row.get(condition.right)
+                    and row.get(condition.left) is not None
+                ]
+                conditions.remove(condition)
+                progressed = True
+                continue
+            index: dict = {}
+            for row in remaining[left_key]:
+                index.setdefault(row.get(condition.left), []).append(row)
+            joined = []
+            for row in remaining[right_key]:
+                for match in index.get(row.get(condition.right), ()):
+                    if row.get(condition.right) is None:
+                        continue
+                    combined = dict(match)
+                    combined.update(row)
+                    joined.append(combined)
+            new_key = left_key
+            merged_aliases[new_key] = merged_aliases[left_key] | merged_aliases.pop(
+                right_key
+            )
+            remaining[new_key] = joined
+            del remaining[right_key]
+            conditions.remove(condition)
+            progressed = True
+        if not progressed:
+            raise QueryError("join graph is disconnected (cross product)")
+
+    if len(remaining) != 1:
+        raise QueryError("join graph is disconnected (cross product)")
+    rows = next(iter(remaining.values()))
+
+    if query.group_by:
+        groups: dict[tuple, int] = {}
+        for row in rows:
+            key = tuple(row.get(k) for k in query.group_by)
+            groups[key] = groups.get(key, 0) + 1
+        rows = [
+            {**dict(zip(query.group_by, key)), "count": count}
+            for key, count in groups.items()
+        ]
+    else:
+        rows = [{name: row.get(name) for name in query.select} for row in rows]
+
+    if query.order_by:
+        rows.sort(key=lambda row: tuple(_key(row.get(k)) for k in query.order_by))
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return rows
+
+
+def _key(value: object) -> tuple:
+    if value is None:
+        return (0, "")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (1, value)
+    return (2, str(value))
+
+
+def rows_equal_unordered(left: list[dict], right: list[dict]) -> bool:
+    """Multiset comparison of result rows (optimizers may order differently)."""
+
+    def canon(rows):
+        return sorted(tuple(sorted(row.items(), key=lambda kv: kv[0])) for row in rows)
+
+    return canon(left) == canon(right)

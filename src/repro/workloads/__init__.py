@@ -1,0 +1,5 @@
+"""Workloads: TPC-H / TPC-DS style generators and the paper's four queries."""
+
+from repro.workloads import tpcds, tpch
+
+__all__ = ["tpcds", "tpch"]

@@ -1,0 +1,75 @@
+"""The paper's TPC-DS queries 17 and 50 (Figure 9).
+
+Q17 joins three fact tables, each pruned by a filtered date_dim alias, with
+item and store "used for the construction of the final result". Q50 is the
+four-join query whose dimension filter carries *parameterized* predicates
+(``myrand`` in the paper; runtime-bound parameters here), the case where a
+static optimizer must fall back to default selectivity factors.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import Query
+from repro.lang.builder import QueryBuilder
+
+
+def query_17() -> Query:
+    """TPC-DS Q17 (Figure 9a): 8 FROM entries, 7 joins, multi-predicate
+    dimension filters, group-by/order-by/limit tail."""
+    return (
+        QueryBuilder()
+        .select("item.i_item_id", "store.s_store_id")
+        .from_table("store_sales", "ss")
+        .from_table("store_returns", "sr")
+        .from_table("catalog_sales", "cs")
+        .from_table("date_dim", "d1")
+        .from_table("date_dim", "d2")
+        .from_table("date_dim", "d3")
+        .from_table("store", "store")
+        .from_table("item", "item")
+        .where_eq("d1.d_moy", 4)
+        .where_eq("d1.d_year", 2001)
+        .where_between("d2.d_moy", 4, 10)
+        .where_eq("d2.d_year", 2001)
+        .where_between("d3.d_moy", 4, 10)
+        .where_eq("d3.d_year", 2001)
+        .join("d1.d_date_sk", "ss.ss_sold_date_sk")
+        .join("item.i_item_sk", "ss.ss_item_sk")
+        .join("store.s_store_sk", "ss.ss_store_sk")
+        .join("ss.ss_customer_sk", "sr.sr_customer_sk")
+        .join("ss.ss_item_sk", "sr.sr_item_sk")
+        .join("ss.ss_ticket_number", "sr.sr_ticket_number")
+        .join("sr.sr_returned_date_sk", "d2.d_date_sk")
+        .join("sr.sr_customer_sk", "cs.cs_bill_customer_sk")
+        .join("sr.sr_item_sk", "cs.cs_item_sk")
+        .join("cs.cs_sold_date_sk", "d3.d_date_sk")
+        .group_by("item.i_item_id", "store.s_store_id")
+        .order_by("item.i_item_id", "store.s_store_id")
+        .limit(100)
+        .build()
+    )
+
+
+def query_50(moy: int = 9, year: int = 2000) -> Query:
+    """TPC-DS Q50 (Figure 9b): 5 FROM entries, 4 joins; d1 is filtered with
+    *parameterized* predicates whose values only bind at runtime (the
+    paper's ``myrand(8,10)`` / ``myrand(1998,2000)``)."""
+    return (
+        QueryBuilder()
+        .select("store.s_store_id", "ss.ss_sales_price")
+        .from_table("store_sales", "ss")
+        .from_table("store_returns", "sr")
+        .from_table("date_dim", "d1")
+        .from_table("date_dim", "d2")
+        .from_table("store", "store")
+        .where_param("d1.d_moy", "=", "moy")
+        .where_param("d1.d_year", "=", "year")
+        .join("d1.d_date_sk", "sr.sr_returned_date_sk")
+        .join("ss.ss_customer_sk", "sr.sr_customer_sk")
+        .join("ss.ss_item_sk", "sr.sr_item_sk")
+        .join("ss.ss_ticket_number", "sr.sr_ticket_number")
+        .join("ss.ss_sold_date_sk", "d2.d_date_sk")
+        .join("ss.ss_store_sk", "store.s_store_sk")
+        .bind(moy=moy, year=year)
+        .build()
+    )

@@ -1,0 +1,114 @@
+"""TPC-DS style schemas (the subset Q17 and Q50 touch).
+
+date_dim is a fixed-size calendar (3 years, 1999-2001) independent of scale,
+exactly as in TPC-DS; the fact tables scale with the unit, and store/item
+grow slowly — their absolute sizes straddle the broadcast budget at
+different scale factors, which drives the paper's per-scale algorithm
+changes (item broadcast at SF 10/100 but not 1000, store always).
+"""
+
+from __future__ import annotations
+
+from repro.common.types import DataType, Schema
+
+#: calendar coverage: 1999-2001 inclusive
+CALENDAR_YEARS = (1999, 2000, 2001)
+CALENDAR_DAYS = len(CALENDAR_YEARS) * 365
+
+DATE_DIM = Schema.of(
+    ("d_date_sk", DataType.INT),
+    ("d_year", DataType.INT),
+    ("d_moy", DataType.INT),
+    ("d_dom", DataType.INT),
+    primary_key=("d_date_sk",),
+)
+
+STORE = Schema.of(
+    ("s_store_sk", DataType.INT),
+    ("s_store_id", DataType.STRING),
+    ("s_state", DataType.STRING),
+    primary_key=("s_store_sk",),
+)
+
+ITEM = Schema.of(
+    ("i_item_sk", DataType.INT),
+    ("i_item_id", DataType.STRING),
+    ("i_item_desc", DataType.STRING),
+    ("i_brand", DataType.STRING),
+    ("i_class", DataType.STRING),
+    ("i_color", DataType.STRING),
+    ("i_category", DataType.STRING),
+    primary_key=("i_item_sk",),
+)
+
+STORE_SALES = Schema.of(
+    ("ss_item_sk", DataType.INT),
+    ("ss_customer_sk", DataType.INT),
+    ("ss_ticket_number", DataType.INT),
+    ("ss_sold_date_sk", DataType.INT),
+    ("ss_store_sk", DataType.INT),
+    ("ss_sales_price", DataType.DOUBLE),
+    primary_key=("ss_ticket_number",),
+)
+
+STORE_RETURNS = Schema.of(
+    ("sr_item_sk", DataType.INT),
+    ("sr_customer_sk", DataType.INT),
+    ("sr_ticket_number", DataType.INT),
+    ("sr_returned_date_sk", DataType.INT),
+    ("sr_return_amt", DataType.DOUBLE),
+    primary_key=("sr_ticket_number",),
+)
+
+CATALOG_SALES = Schema.of(
+    ("cs_item_sk", DataType.INT),
+    ("cs_bill_customer_sk", DataType.INT),
+    ("cs_sold_date_sk", DataType.INT),
+    ("cs_order_number", DataType.INT),
+    ("cs_sales_price", DataType.DOUBLE),
+    primary_key=("cs_order_number",),
+)
+
+SCHEMAS = {
+    "date_dim": DATE_DIM,
+    "store": STORE,
+    "item": ITEM,
+    "store_sales": STORE_SALES,
+    "store_returns": STORE_RETURNS,
+    "catalog_sales": CATALOG_SALES,
+}
+
+_STORE_COUNTS = {1: 2, 10: 6, 100: 20}
+#: item grows sublinearly in TPC-DS; sim counts keep the real ratios.
+_ITEM_COUNTS = {1: 15, 10: 30, 100: 45}
+_REAL_STORE_COUNTS = {10: 102, 100: 402, 1000: 1002}
+_REAL_ITEM_COUNTS = {10: 102_000, 100: 204_000, 1000: 300_000}
+
+
+def row_counts(scale_unit: int) -> dict[str, int]:
+    """Stored (simulated) rows per table for scale unit u = scale_factor/10."""
+    return {
+        "date_dim": CALENDAR_DAYS,
+        "store": _STORE_COUNTS.get(scale_unit, max(2, scale_unit // 5)),
+        "item": _ITEM_COUNTS.get(scale_unit, 30 * scale_unit),
+        "store_sales": 600 * scale_unit,
+        "store_returns": 60 * scale_unit,
+        "catalog_sales": 300 * scale_unit,
+    }
+
+
+def real_row_counts(scale_factor: int) -> dict[str, int]:
+    """Modeled full-scale rows (standard TPC-DS populations per SF in GB)."""
+    return {
+        "date_dim": 73_049,
+        "store": _REAL_STORE_COUNTS.get(scale_factor, scale_factor + 2),
+        "item": _REAL_ITEM_COUNTS.get(scale_factor, 300 * scale_factor + 72_000),
+        "store_sales": 2_880_000 * scale_factor,
+        "store_returns": 288_000 * scale_factor,
+        "catalog_sales": 1_440_000 * scale_factor,
+    }
+
+
+def customer_population(scale_unit: int) -> int:
+    """Synthetic customer id space (no customer table in Q17/Q50)."""
+    return 50 * scale_unit

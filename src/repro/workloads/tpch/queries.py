@@ -1,0 +1,71 @@
+"""The paper's modified TPC-H queries 8 and 9 (Figure 5 / Figure 10).
+
+Q8 gains two *correlated* fixed-value predicates on orders; Q9 gains UDF
+predicates on part (``mysub(p_brand) = '#3'``) and orders
+(``myyear(o_orderdate) = 1998``) — both designed so that static selectivity
+estimation goes wrong and predicate push-down pays off.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import Query
+from repro.lang.builder import QueryBuilder
+
+#: Q8's date window (days): calendar years 4-5 = 1995-01-01 .. 1996-12-31,
+#: which lies wholly inside the generator's finished-orders era — the
+#: correlation the paper injects.
+Q8_DATE_LOW = 3 * 365
+Q8_DATE_HIGH = 5 * 365 - 1
+
+
+def query_8() -> Query:
+    """Modified TPC-H Q8 (Figure 10a): 8 tables, pk/fk joins, correlated
+    multi-predicate filter on orders, filters on region and part."""
+    return (
+        QueryBuilder()
+        .select("l.l_extendedprice", "o.o_orderdate", "n2.n_name")
+        .from_table("lineitem", "l")
+        .from_table("part", "p")
+        .from_table("supplier", "s")
+        .from_table("orders", "o")
+        .from_table("customer", "c")
+        .from_table("nation", "n1")
+        .from_table("nation", "n2")
+        .from_table("region", "r")
+        .join("p.p_partkey", "l.l_partkey")
+        .join("s.s_suppkey", "l.l_suppkey")
+        .join("l.l_orderkey", "o.o_orderkey")
+        .join("o.o_custkey", "c.c_custkey")
+        .join("c.c_nationkey", "n1.n_nationkey")
+        .join("n1.n_regionkey", "r.r_regionkey")
+        .join("s.s_nationkey", "n2.n_nationkey")
+        .where_eq("r.r_name", "ASIA")
+        .where_between("o.o_orderdate", Q8_DATE_LOW, Q8_DATE_HIGH)
+        .where_eq("o.o_orderstatus", "F")
+        .where_eq("p.p_type", "SMALL PLATED COPPER")
+        .build()
+    )
+
+
+def query_9() -> Query:
+    """Modified TPC-H Q9 (Figure 10b): UDFs on part and orders, plus the
+    composite fact-to-fact join lineitem ⋈ partsupp."""
+    return (
+        QueryBuilder()
+        .select("n.n_name", "l.l_extendedprice", "ps.ps_supplycost")
+        .from_table("part", "p")
+        .from_table("supplier", "s")
+        .from_table("lineitem", "l")
+        .from_table("partsupp", "ps")
+        .from_table("orders", "o")
+        .from_table("nation", "n")
+        .join("s.s_suppkey", "l.l_suppkey")
+        .join("ps.ps_suppkey", "l.l_suppkey")
+        .join("ps.ps_partkey", "l.l_partkey")
+        .join("p.p_partkey", "l.l_partkey")
+        .join("o.o_orderkey", "l.l_orderkey")
+        .join("s.s_nationkey", "n.n_nationkey")
+        .where_udf("myyear", "o.o_orderdate", "=", 1998)
+        .where_udf("mysub", "p.p_brand", "=", "#3")
+        .build()
+    )

@@ -1,0 +1,123 @@
+"""TPC-H style schemas for the scaled-down universe.
+
+Same tables, key/foreign-key structure and column roles as TPC-H; row counts
+are scaled down uniformly (DESIGN.md §2) so the whole benchmark runs in pure
+Python while preserving every size *ratio* the paper's plan choices depend
+on. Dates are stored as integer ordinals (days since 1992-01-01 over a
+7-year calendar, mirroring TPC-H's 1992-1998 span).
+"""
+
+from __future__ import annotations
+
+from repro.common.types import DataType, Schema
+
+#: days covered by the order/lineitem calendar (7 years, as in TPC-H)
+CALENDAR_DAYS = 7 * 365
+
+REGION = Schema.of(
+    ("r_regionkey", DataType.INT),
+    ("r_name", DataType.STRING),
+    primary_key=("r_regionkey",),
+)
+
+NATION = Schema.of(
+    ("n_nationkey", DataType.INT),
+    ("n_name", DataType.STRING),
+    ("n_regionkey", DataType.INT),
+    primary_key=("n_nationkey",),
+)
+
+SUPPLIER = Schema.of(
+    ("s_suppkey", DataType.INT),
+    ("s_name", DataType.STRING),
+    ("s_nationkey", DataType.INT),
+    ("s_acctbal", DataType.DOUBLE),
+    primary_key=("s_suppkey",),
+)
+
+CUSTOMER = Schema.of(
+    ("c_custkey", DataType.INT),
+    ("c_name", DataType.STRING),
+    ("c_nationkey", DataType.INT),
+    ("c_acctbal", DataType.DOUBLE),
+    primary_key=("c_custkey",),
+)
+
+PART = Schema.of(
+    ("p_partkey", DataType.INT),
+    ("p_name", DataType.STRING),
+    ("p_brand", DataType.STRING),
+    ("p_type", DataType.STRING),
+    ("p_size", DataType.INT),
+    primary_key=("p_partkey",),
+)
+
+PARTSUPP = Schema.of(
+    ("ps_partkey", DataType.INT),
+    ("ps_suppkey", DataType.INT),
+    ("ps_availqty", DataType.INT),
+    ("ps_supplycost", DataType.DOUBLE),
+    primary_key=("ps_partkey",),
+)
+
+ORDERS = Schema.of(
+    ("o_orderkey", DataType.INT),
+    ("o_custkey", DataType.INT),
+    ("o_orderstatus", DataType.STRING),
+    ("o_orderdate", DataType.DATE),
+    ("o_totalprice", DataType.DOUBLE),
+    primary_key=("o_orderkey",),
+)
+
+LINEITEM = Schema.of(
+    ("l_orderkey", DataType.INT),
+    ("l_linenumber", DataType.INT),
+    ("l_partkey", DataType.INT),
+    ("l_suppkey", DataType.INT),
+    ("l_quantity", DataType.INT),
+    ("l_extendedprice", DataType.DOUBLE),
+    ("l_shipdate", DataType.DATE),
+    primary_key=("l_orderkey",),
+)
+
+SCHEMAS = {
+    "region": REGION,
+    "nation": NATION,
+    "supplier": SUPPLIER,
+    "customer": CUSTOMER,
+    "part": PART,
+    "partsupp": PARTSUPP,
+    "orders": ORDERS,
+    "lineitem": LINEITEM,
+}
+
+def row_counts(scale_unit: int) -> dict[str, int]:
+    """Stored (simulated) rows per table for scale unit u = scale_factor/10.
+
+    Ratios follow TPC-H; absolute counts are small enough for pure Python.
+    """
+    return {
+        "region": 5,
+        "nation": 25,
+        "supplier": 10 * scale_unit,
+        "customer": 60 * scale_unit,
+        "part": 500 * scale_unit,
+        "partsupp": 400 * scale_unit,
+        "orders": 150 * scale_unit,
+        "lineitem": 600 * scale_unit,
+    }
+
+
+def real_row_counts(scale_factor: int) -> dict[str, int]:
+    """Modeled full-scale rows per table (standard TPC-H populations; the
+    scale factor is the nominal dataset size in GB)."""
+    return {
+        "region": 5,
+        "nation": 25,
+        "supplier": 10_000 * scale_factor,
+        "customer": 150_000 * scale_factor,
+        "part": 200_000 * scale_factor,
+        "partsupp": 800_000 * scale_factor,
+        "orders": 1_500_000 * scale_factor,
+        "lineitem": 6_000_000 * scale_factor,
+    }

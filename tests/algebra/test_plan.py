@@ -1,0 +1,76 @@
+"""Plan-tree tests."""
+
+from repro.algebra.plan import JoinNode, LeafNode, is_bushy, is_right_deep
+from repro.engine.operators.joins import JoinAlgorithm
+from repro.lang.ast import ComparisonPredicate
+
+
+def leaf(alias, predicates=()):
+    return LeafNode(alias=alias, dataset=alias, predicates=tuple(predicates))
+
+
+def join(build, probe, algorithm=JoinAlgorithm.HASH):
+    return JoinNode(
+        build=build,
+        probe=probe,
+        build_keys=(f"{sorted(build.aliases)[0]}.k",),
+        probe_keys=(f"{sorted(probe.aliases)[0]}.k",),
+        algorithm=algorithm,
+    )
+
+
+class TestNodes:
+    def test_leaf_aliases(self):
+        assert leaf("a").aliases == frozenset(("a",))
+
+    def test_join_aliases_union(self):
+        node = join(leaf("a"), join(leaf("b"), leaf("c")))
+        assert node.aliases == frozenset(("a", "b", "c"))
+
+    def test_describe_markers(self):
+        node = join(leaf("a"), leaf("b"), JoinAlgorithm.BROADCAST)
+        assert node.describe() == "(a ⋈b b)"
+        node = join(leaf("a"), leaf("b"), JoinAlgorithm.INDEX_NESTED_LOOP)
+        assert "⋈i" in node.describe()
+        node = join(leaf("a"), leaf("b"))
+        assert node.describe() == "(a ⋈ b)"
+
+    def test_describe_sigma_for_filtered_leaf(self):
+        filtered = leaf("a", [ComparisonPredicate("a.x", "=", 1)])
+        assert filtered.describe() == "σ(a)"
+
+    def test_join_nodes_postorder(self):
+        inner = join(leaf("a"), leaf("b"))
+        outer = join(inner, leaf("c"))
+        assert outer.join_nodes() == [inner, outer]
+
+    def test_leaves_in_order(self):
+        tree = join(join(leaf("a"), leaf("b")), leaf("c"))
+        assert [l.alias for l in tree.leaves()] == ["a", "b", "c"]
+
+    def test_with_algorithm(self):
+        node = join(leaf("a"), leaf("b"))
+        assert node.with_algorithm(JoinAlgorithm.BROADCAST).algorithm == (
+            JoinAlgorithm.BROADCAST
+        )
+
+
+class TestShapePredicates:
+    def test_leaf_is_right_deep_not_bushy(self):
+        assert is_right_deep(leaf("a"))
+        assert not is_bushy(leaf("a"))
+
+    def test_linear_chain_right_deep(self):
+        tree = join(leaf("a"), join(leaf("b"), leaf("c")))
+        assert is_right_deep(tree)
+        assert not is_bushy(tree)
+
+    def test_bushy_detected(self):
+        tree = join(join(leaf("a"), leaf("b")), join(leaf("c"), leaf("d")))
+        assert is_bushy(tree)
+        assert not is_right_deep(tree)
+
+    def test_left_accumulated_not_right_deep(self):
+        tree = join(join(leaf("a"), leaf("b")), leaf("c"))
+        assert not is_right_deep(tree)
+        assert not is_bushy(tree)

@@ -1,0 +1,28 @@
+"""Bench CLI smoke tests (fast subsets only)."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCli:
+    def test_table1_subset(self, capsys):
+        assert main(["table1", "--sf", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "worst_order" in out
+
+    def test_plans_subset(self, capsys):
+        assert main(["plans", "--sf", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Q50 @ SF 10" in out
+        assert "INL enabled" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure9000"])
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["fig6", "table1", "--sf", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out and "Table 1" in out

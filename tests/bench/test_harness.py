@@ -1,0 +1,111 @@
+"""Benchmark-harness unit tests (fast: SF 10 only)."""
+
+import pytest
+
+from repro.bench.comparison import comparison_row, format_cells
+from repro.bench.overhead import OverheadReport, format_reports, overhead_report
+from repro.bench.plans import format_matrix, plan_matrix
+from repro.bench.runner import (
+    COMPARISON_OPTIMIZERS,
+    QUERIES,
+    run_query,
+    workbench,
+    workbench_for_query,
+)
+from repro.bench.table1 import PAPER_TABLE1, improvement_rows, format_rows
+
+
+class TestRunner:
+    def test_workbench_cached(self):
+        assert workbench("tpch", 10) is workbench("tpch", 10)
+
+    def test_workbench_for_query(self):
+        assert workbench_for_query("Q17", 10).workload == "tpcds"
+        assert workbench_for_query("Q8", 10).workload == "tpch"
+
+    def test_query_cached_and_validated(self):
+        bench = workbench("tpch", 10)
+        assert bench.query("Q9") is bench.query("Q9")
+        with pytest.raises(KeyError):
+            bench.query("Q17")
+
+    def test_run_query_cleans_up(self):
+        bench = workbench_for_query("Q50", 10)
+        run_query("Q50", 10, "dynamic")
+        assert not any(n.startswith("__") for n in bench.session.datasets.names())
+
+    def test_run_query_inl_creates_indexes(self):
+        run_query("Q50", 10, "dynamic", inl_enabled=True)
+        bench = workbench_for_query("Q50", 10)
+        assert bench.session.datasets.get("store_returns").has_index(
+            "sr_returned_date_sk"
+        )
+
+    def test_queries_registry_covers_paper(self):
+        assert sorted(QUERIES) == ["Q17", "Q50", "Q8", "Q9"]
+
+
+class TestComparison:
+    def test_row_covers_all_optimizers(self):
+        cells = comparison_row("Q50", 10)
+        assert [c.optimizer for c in cells] == list(COMPARISON_OPTIMIZERS)
+        assert all(c.seconds > 0 for c in cells)
+
+    def test_inl_excludes_worst_order(self):
+        cells = comparison_row("Q50", 10, inl_enabled=True)
+        assert "worst_order" not in [c.optimizer for c in cells]
+
+    def test_format(self):
+        text = format_cells(comparison_row("Q50", 10, optimizers=("dynamic",)))
+        assert "Q50 @ SF 10" in text and "dynamic" in text
+
+
+class TestOverhead:
+    def test_report_fields(self):
+        report = overhead_report("Q50", 10)
+        assert report.full_seconds > 0
+        assert 0 <= report.reoptimization_fraction < 1
+        assert 0 <= report.online_stats_fraction < 1
+        assert isinstance(report, OverheadReport)
+
+    def test_format(self):
+        report = overhead_report("Q50", 10)
+        text = format_reports([report])
+        assert "re-opt=" in text and "pushdown=" in text
+
+
+class TestTable1:
+    def test_rows_from_given_cells(self):
+        cells = comparison_row("Q50", 100)
+        (row,) = improvement_rows(cells, scale_factors=(100,))
+        assert set(row.ratios) == {
+            "cost_based",
+            "best_order",
+            "worst_order",
+            "pilot_run",
+            "ingres",
+        }
+        assert row.ratios["worst_order"] > 1.0
+
+    def test_paper_reference_table_complete(self):
+        for scale_factor, row in PAPER_TABLE1.items():
+            assert set(row) == {
+                "cost_based",
+                "pilot_run",
+                "ingres",
+                "best_order",
+                "worst_order",
+            }
+
+    def test_format_includes_paper_row(self):
+        cells = comparison_row("Q50", 100)
+        text = format_rows(improvement_rows(cells, scale_factors=(100,)))
+        assert "paper" in text
+
+
+class TestPlans:
+    def test_matrix_and_format(self):
+        entries = plan_matrix((10,), queries=("Q50",))
+        assert len(entries) == len(COMPARISON_OPTIMIZERS)
+        text = format_matrix(entries)
+        assert "Q50 @ SF 10" in text

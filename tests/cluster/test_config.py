@@ -1,0 +1,43 @@
+"""Cluster configuration tests."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig, default_cluster
+from repro.common.errors import ReproError
+
+
+class TestClusterConfig:
+    def test_default_matches_paper(self):
+        cluster = default_cluster()
+        assert cluster.nodes == 10
+        assert cluster.cores_per_node == 4
+        assert cluster.partitions == 40
+
+    def test_default_broadcast_budget(self):
+        assert default_cluster().broadcast_threshold_bytes == 40e6
+
+    def test_fraction_based_threshold(self):
+        cluster = ClusterConfig(memory_per_node_mb=1024, broadcast_memory_fraction=0.5)
+        assert cluster.broadcast_threshold_bytes == 512 * 1024 * 1024
+
+    def test_override_wins_over_fraction(self):
+        cluster = ClusterConfig(broadcast_budget_bytes=123.0)
+        assert cluster.broadcast_threshold_bytes == 123.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"nodes": 0},
+            {"cores_per_node": 0},
+            {"memory_per_node_mb": 0},
+            {"broadcast_memory_fraction": 0.0},
+            {"broadcast_memory_fraction": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ReproError):
+            ClusterConfig(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            default_cluster().nodes = 5

@@ -1,0 +1,100 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.common.types import DataType, Schema
+from repro.lang.builder import QueryBuilder
+from repro.session import Session
+
+
+def small_cluster() -> ClusterConfig:
+    """A 2x2 cluster keeps tests fast while still exercising partitioning."""
+    return ClusterConfig(nodes=2, cores_per_node=2, broadcast_budget_bytes=40e6)
+
+
+FACT_SCHEMA = Schema.of(
+    ("f_id", DataType.INT),
+    ("f_a", DataType.INT),
+    ("f_b", DataType.INT),
+    ("f_c", DataType.INT),
+    ("f_val", DataType.INT),
+    primary_key=("f_id",),
+)
+
+
+def dim_schema(prefix: str) -> Schema:
+    return Schema.of(
+        (f"{prefix}_id", DataType.INT),
+        (f"{prefix}_attr", DataType.INT),
+        primary_key=(f"{prefix}_id",),
+    )
+
+
+def build_star_session(
+    fact_rows: int = 2000, seed: int = 7, cluster: ClusterConfig | None = None
+) -> Session:
+    """A fact table with three dimensions — the workhorse test universe."""
+    rng = random.Random(seed)
+    session = Session(cluster or small_cluster())
+    session.load(
+        "fact",
+        FACT_SCHEMA,
+        [
+            {
+                "f_id": i,
+                "f_a": rng.randrange(50),
+                "f_b": rng.randrange(40),
+                "f_c": rng.randrange(30),
+                "f_val": rng.randrange(1000),
+            }
+            for i in range(fact_rows)
+        ],
+        scale=10_000.0,
+    )
+    session.load(
+        "da", dim_schema("a"), [{"a_id": i, "a_attr": i % 7} for i in range(50)]
+    )
+    session.load(
+        "db", dim_schema("b"), [{"b_id": i, "b_attr": i % 5} for i in range(40)]
+    )
+    session.load(
+        "dc", dim_schema("c"), [{"c_id": i, "c_attr": i % 3} for i in range(30)]
+    )
+    return session
+
+
+def star_query(**kwargs):
+    """Three-join star query with a mix of predicate kinds."""
+    builder = (
+        QueryBuilder()
+        .select("fact.f_val", "da.a_attr")
+        .from_table("fact")
+        .from_table("da")
+        .from_table("db")
+        .from_table("dc")
+        .where_eq("da.a_attr", 2)
+        .where_udf("mymod10", "db.b_attr", "=", 1)
+        .where_compare("dc.c_attr", ">=", 1)
+        .where_compare("dc.c_attr", "<=", 1)
+        .join("fact.f_a", "da.a_id")
+        .join("fact.f_b", "db.b_id")
+        .join("fact.f_c", "dc.c_id")
+    )
+    for key, value in kwargs.items():
+        getattr(builder, key)(value)
+    return builder.build()
+
+
+@pytest.fixture
+def star_session():
+    return build_star_session()
+
+
+@pytest.fixture
+def star():
+    return build_star_session(), star_query()

@@ -1,0 +1,89 @@
+"""Predicate push-down execution tests (Algorithm 1 lines 6-9, 20-23)."""
+
+import pytest
+
+from repro.core.predicate_pushdown import (
+    execute_pushdowns,
+    intermediate_name_for,
+    join_columns_of,
+)
+from repro.engine.metrics import JobMetrics
+
+from tests.conftest import build_star_session, star_query
+
+
+@pytest.fixture
+def session():
+    return build_star_session()
+
+
+def run_pushdowns(session, query):
+    metrics = JobMetrics()
+    phases = []
+    working = session.statistics.copy()
+    outcome = execute_pushdowns(query, session, working, metrics, phases)
+    return outcome, working, metrics, phases
+
+
+class TestPushdownExecution:
+    def test_only_qualifying_tables_pushed(self, session):
+        # da: single simple predicate -> no; db: single UDF -> yes;
+        # dc: two simple predicates -> yes
+        outcome, _, _, phases = run_pushdowns(session, star_query())
+        assert sorted(outcome.executed_aliases) == ["db", "dc"]
+        assert phases == [f"pushdown:{a}" for a in outcome.executed_aliases]
+
+    def test_intermediates_materialized_and_filtered(self, session):
+        outcome, _, _, _ = run_pushdowns(session, star_query())
+        filtered_db = session.datasets.get(intermediate_name_for("db"))
+        assert filtered_db.is_intermediate
+        rows = list(filtered_db.rows())
+        # mymod10(b_attr) = 1 keeps b_attr == 1 -> 8 of 40 rows
+        assert len(rows) == 8
+        # only surviving columns kept (the join key)
+        assert all(set(row) == {"db.b_id"} for row in rows)
+
+    def test_statistics_updated(self, session):
+        outcome, working, _, _ = run_pushdowns(session, star_query())
+        stats = working.get(intermediate_name_for("dc"))
+        assert stats.row_count == 10  # c_attr == 1 keeps 10 of 30
+        # sketches collected on join-participating columns
+        assert "dc.c_id" in stats.fields
+        # session statistics untouched
+        assert not session.statistics.has(intermediate_name_for("dc"))
+
+    def test_query_rewritten(self, session):
+        outcome, _, _, _ = run_pushdowns(session, star_query())
+        rewritten = outcome.query
+        assert rewritten.table("db").dataset == intermediate_name_for("db")
+        assert rewritten.predicates_for("db") == ()
+        # da keeps its estimable single predicate
+        assert len(rewritten.predicates_for("da")) == 1
+
+    def test_costs_charged(self, session):
+        _, _, metrics, _ = run_pushdowns(session, star_query())
+        assert metrics.jobs == 2
+        assert metrics.startup > 0
+        assert metrics.materialize > 0
+        assert metrics.scan > 0
+
+    def test_join_columns_of(self):
+        columns = join_columns_of(star_query())
+        assert "fact.f_a" in columns and "da.a_id" in columns
+
+    def test_no_candidates_no_jobs(self, session):
+        from repro.lang.builder import QueryBuilder
+
+        query = (
+            QueryBuilder()
+            .select("fact.f_val")
+            .from_table("fact")
+            .from_table("da")
+            .where_eq("da.a_attr", 2)
+            .join("fact.f_a", "da.a_id")
+            .build()
+        )
+        outcome, _, metrics, phases = run_pushdowns(session, query)
+        assert outcome.executed_aliases == []
+        assert metrics.jobs == 0
+        assert outcome.query == query

@@ -1,0 +1,35 @@
+"""Exchange connector tests."""
+
+from repro.common.rng import stable_hash
+from repro.engine.exchange import broadcast_exchange, hash_exchange
+
+
+class TestHashExchange:
+    def test_preserves_all_rows(self):
+        partitions = [[{"k": i} for i in range(10)], [{"k": i} for i in range(10, 20)]]
+        out = hash_exchange(partitions, lambda r: r["k"], 4)
+        assert sum(len(p) for p in out) == 20
+
+    def test_routes_by_stable_hash(self):
+        partitions = [[{"k": i} for i in range(50)]]
+        out = hash_exchange(partitions, lambda r: r["k"], 8)
+        for pid, partition in enumerate(out):
+            for row in partition:
+                assert stable_hash(row["k"]) % 8 == pid
+
+    def test_equal_keys_colocate(self):
+        partitions = [[{"k": 5, "n": i}] for i in range(10)]
+        out = hash_exchange(partitions, lambda r: r["k"], 4)
+        assert sum(1 for p in out if p) == 1
+
+    def test_empty_input(self):
+        assert hash_exchange([[], []], lambda r: r, 4) == [[], [], [], []]
+
+
+class TestBroadcastExchange:
+    def test_gathers_everything_in_order(self):
+        partitions = [[1, 2], [], [3]]
+        assert broadcast_exchange(partitions) == [1, 2, 3]
+
+    def test_empty(self):
+        assert broadcast_exchange([[], []]) == []

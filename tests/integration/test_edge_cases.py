@@ -1,0 +1,146 @@
+"""Edge cases across the full stack: empty data, degenerate queries, skew."""
+
+import pytest
+
+from repro.common.types import DataType, Schema
+from repro.lang.builder import QueryBuilder
+from repro.session import Session
+from repro.testing import evaluate_reference, rows_equal_unordered
+
+from tests.conftest import small_cluster
+
+ALL = ("dynamic", "cost_based", "from_order", "worst_order", "pilot_run", "ingres")
+
+
+def session_with(fact_rows, dim_rows):
+    session = Session(small_cluster())
+    session.load(
+        "f",
+        Schema.of(("id", DataType.INT), ("k", DataType.INT), primary_key=("id",)),
+        fact_rows,
+    )
+    session.load(
+        "d",
+        Schema.of(("d_id", DataType.INT), ("v", DataType.INT), primary_key=("d_id",)),
+        dim_rows,
+    )
+    return session
+
+
+def two_table_query(**extra):
+    builder = (
+        QueryBuilder()
+        .select("f.id", "d.v")
+        .from_table("f")
+        .from_table("d")
+        .join("f.k", "d.d_id")
+    )
+    return builder.build()
+
+
+class TestEmptyInputs:
+    @pytest.mark.parametrize("optimizer", ALL)
+    def test_empty_fact(self, optimizer):
+        session = session_with([], [{"d_id": i, "v": i} for i in range(5)])
+        result = session.execute(two_table_query(), optimizer=optimizer)
+        session.reset_intermediates()
+        assert result.rows == []
+
+    @pytest.mark.parametrize("optimizer", ALL)
+    def test_empty_dimension(self, optimizer):
+        session = session_with([{"id": i, "k": i} for i in range(10)], [])
+        result = session.execute(two_table_query(), optimizer=optimizer)
+        session.reset_intermediates()
+        assert result.rows == []
+
+    def test_filter_eliminating_everything(self):
+        session = session_with(
+            [{"id": i, "k": i % 3} for i in range(20)],
+            [{"d_id": i, "v": i} for i in range(3)],
+        )
+        query = (
+            QueryBuilder()
+            .select("f.id")
+            .from_table("f")
+            .from_table("d")
+            .where_eq("d.v", 999)
+            .where_compare("d.v", ">", -1)
+            .join("f.k", "d.d_id")
+            .build()
+        )
+        for optimizer in ALL:
+            result = session.execute(query, optimizer=optimizer)
+            session.reset_intermediates()
+            assert result.rows == []
+
+
+class TestDegenerateQueries:
+    def test_single_table_no_joins_dynamic(self):
+        session = session_with([{"id": i, "k": i} for i in range(10)], [])
+        query = QueryBuilder().select("f.id").from_table("f").build()
+        result = session.execute(query, optimizer="dynamic")
+        session.reset_intermediates()
+        assert len(result.rows) == 10
+
+    def test_single_table_with_filter(self):
+        session = session_with([{"id": i, "k": i % 4} for i in range(40)], [])
+        query = (
+            QueryBuilder()
+            .select("f.id")
+            .from_table("f")
+            .where_eq("f.k", 1)
+            .build()
+        )
+        result = session.execute(query, optimizer="dynamic")
+        session.reset_intermediates()
+        assert len(result.rows) == 10
+
+
+class TestSkew:
+    def test_extreme_key_skew_still_correct(self):
+        # 90% of fact rows share one join key: partitions are imbalanced but
+        # results must be exact
+        fact = [{"id": i, "k": 0 if i % 10 else i % 3} for i in range(200)]
+        dims = [{"d_id": i, "v": i} for i in range(3)]
+        session = session_with(fact, dims)
+        query = two_table_query()
+        reference = evaluate_reference(query, session)
+        for optimizer in ("dynamic", "cost_based", "worst_order"):
+            result = session.execute(query, optimizer=optimizer)
+            session.reset_intermediates()
+            assert rows_equal_unordered(result.rows, reference)
+
+    def test_all_rows_one_key(self):
+        fact = [{"id": i, "k": 7} for i in range(50)]
+        dims = [{"d_id": 7, "v": 1}]
+        session = session_with(fact, dims)
+        result = session.execute(two_table_query(), optimizer="dynamic")
+        session.reset_intermediates()
+        assert len(result.rows) == 50
+
+
+class TestSelfJoinAliases:
+    def test_same_dataset_twice(self):
+        session = Session(small_cluster())
+        session.load(
+            "people",
+            Schema.of(
+                ("p_id", DataType.INT),
+                ("manager", DataType.INT),
+                primary_key=("p_id",),
+            ),
+            [{"p_id": i, "manager": i // 3} for i in range(30)],
+        )
+        query = (
+            QueryBuilder()
+            .select("e.p_id", "m.p_id")
+            .from_table("people", "e")
+            .from_table("people", "m")
+            .join("e.manager", "m.p_id")
+            .build()
+        )
+        reference = evaluate_reference(query, session)
+        for optimizer in ("dynamic", "cost_based"):
+            result = session.execute(query, optimizer=optimizer)
+            session.reset_intermediates()
+            assert rows_equal_unordered(result.rows, reference)

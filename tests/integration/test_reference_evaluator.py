@@ -1,0 +1,95 @@
+"""Tests for the brute-force reference evaluator itself."""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.common.types import DataType, Schema
+from repro.lang.ast import Query, TableRef
+from repro.lang.builder import QueryBuilder
+from repro.session import Session
+from repro.testing import evaluate_reference, rows_equal_unordered
+
+from tests.conftest import small_cluster
+
+
+@pytest.fixture
+def tiny_session():
+    session = Session(small_cluster())
+    session.load(
+        "t",
+        Schema.of(("id", DataType.INT), ("g", DataType.INT), primary_key=("id",)),
+        [{"id": i, "g": i % 3} for i in range(9)],
+    )
+    session.load(
+        "u",
+        Schema.of(("uid", DataType.INT), ("t_id", DataType.INT), primary_key=("uid",)),
+        [{"uid": i, "t_id": i % 9} for i in range(18)],
+    )
+    return session
+
+
+class TestReference:
+    def test_single_table_projection(self, tiny_session):
+        query = QueryBuilder().select("t.g").from_table("t").build()
+        rows = evaluate_reference(query, tiny_session)
+        assert len(rows) == 9
+        assert all(set(r) == {"t.g"} for r in rows)
+
+    def test_filter(self, tiny_session):
+        query = (
+            QueryBuilder().select("t.id").from_table("t").where_eq("t.g", 1).build()
+        )
+        rows = evaluate_reference(query, tiny_session)
+        assert sorted(r["t.id"] for r in rows) == [1, 4, 7]
+
+    def test_join(self, tiny_session):
+        query = (
+            QueryBuilder()
+            .select("t.id", "u.uid")
+            .from_table("t")
+            .from_table("u")
+            .join("t.id", "u.t_id")
+            .build()
+        )
+        rows = evaluate_reference(query, tiny_session)
+        assert len(rows) == 18
+
+    def test_group_by_count(self, tiny_session):
+        query = (
+            QueryBuilder()
+            .select("t.g")
+            .from_table("t")
+            .group_by("t.g")
+            .order_by("t.g")
+            .build()
+        )
+        rows = evaluate_reference(query, tiny_session)
+        assert rows == [
+            {"t.g": 0, "count": 3},
+            {"t.g": 1, "count": 3},
+            {"t.g": 2, "count": 3},
+        ]
+
+    def test_limit(self, tiny_session):
+        query = (
+            QueryBuilder().select("t.id").from_table("t").order_by("t.id").limit(4).build()
+        )
+        assert len(evaluate_reference(query, tiny_session)) == 4
+
+    def test_cross_product_rejected(self, tiny_session):
+        query = Query(
+            select=("t.id",), tables=(TableRef("t", "t"), TableRef("u", "u"))
+        )
+        with pytest.raises(QueryError):
+            evaluate_reference(query, tiny_session)
+
+
+class TestRowsEqualUnordered:
+    def test_order_insensitive(self):
+        assert rows_equal_unordered([{"a": 1}, {"a": 2}], [{"a": 2}, {"a": 1}])
+
+    def test_multiset_semantics(self):
+        assert not rows_equal_unordered([{"a": 1}, {"a": 1}], [{"a": 1}])
+
+    def test_value_differences_detected(self):
+        assert not rows_equal_unordered([{"a": 1}], [{"a": 2}])

@@ -1,0 +1,58 @@
+"""Session facade tests."""
+
+import pytest
+
+from repro.common.errors import OptimizationError
+from repro.common.types import DataType, Schema
+from repro.session import Session
+
+from tests.conftest import build_star_session, star_query
+
+
+class TestSession:
+    def test_optimizer_names(self):
+        names = Session().optimizer_names()
+        assert "dynamic" in names and len(names) == 8
+
+    def test_dataset_rows(self):
+        session = build_star_session()
+        assert session.dataset_rows("fact") == 2000
+
+    def test_require_loaded(self):
+        session = build_star_session()
+        session.require_loaded("fact", "da")
+        with pytest.raises(OptimizationError):
+            session.require_loaded("ghost")
+
+    def test_execute_unknown_optimizer(self):
+        session = build_star_session()
+        with pytest.raises(OptimizationError):
+            session.execute(star_query(), optimizer="nope")
+
+    def test_create_index_enables_inl(self):
+        session = build_star_session()
+        session.create_index("fact", "f_a")
+        assert session.datasets.get("fact").has_index("f_a")
+
+    def test_reset_intermediates_removes_stats_too(self):
+        session = build_star_session()
+        session.execute(star_query(), optimizer="dynamic")
+        session.reset_intermediates()
+        leftovers = [n for n in session.statistics.names() if n.startswith("__")]
+        assert leftovers == []
+
+    def test_load_rejects_duplicates(self):
+        session = Session()
+        schema = Schema.of(("x", DataType.INT))
+        session.load("t", schema, [])
+        from repro.common.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            session.load("t", schema, [])
+
+    def test_execute_forwards_options(self):
+        session = build_star_session()
+        session.create_index("fact", "f_a")
+        result = session.execute(star_query(), optimizer="dynamic", inl_enabled=True)
+        session.reset_intermediates()
+        assert result.rows is not None

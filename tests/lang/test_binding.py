@@ -1,0 +1,92 @@
+"""Column resolution tests, including intermediates with qualified columns."""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.common.types import DataType, Schema
+from repro.lang.ast import JoinCondition, Query, TableRef
+from repro.lang.binding import ColumnResolver, provided_columns
+
+
+def schemas():
+    return {
+        "ta": Schema.of(("x", DataType.INT), ("k", DataType.INT)),
+        "tb": Schema.of(("y", DataType.INT), ("k", DataType.INT)),
+        # intermediate: physical columns are already qualified
+        "i_ab": Schema.of(("a.x", DataType.INT), ("b.k", DataType.INT)),
+    }
+
+
+def lookup(name):
+    return schemas()[name]
+
+
+class TestProvidedColumns:
+    def test_base_table_qualified_by_alias(self):
+        columns = provided_columns(TableRef("ta", "a1"), lookup)
+        assert columns == {"a1.x", "a1.k"}
+
+    def test_intermediate_keeps_original_names(self):
+        columns = provided_columns(TableRef("i_ab", "i_ab"), lookup)
+        assert columns == {"a.x", "b.k"}
+
+
+class TestResolver:
+    def test_provider_base(self):
+        query = Query(select=("a.x",), tables=(TableRef("ta", "a"), TableRef("tb", "b")))
+        resolver = ColumnResolver(query, lookup)
+        assert resolver.provider("a.x") == "a"
+        assert resolver.provider("b.y") == "b"
+
+    def test_provider_through_intermediate(self):
+        query = Query(
+            select=("a.x",),
+            tables=(TableRef("i_ab", "i_ab"), TableRef("tb", "c")),
+            joins=(JoinCondition("b.k", "c.k"),),
+        )
+        resolver = ColumnResolver(query, lookup)
+        # b.k now lives inside the intermediate
+        assert resolver.provider("b.k") == "i_ab"
+        assert resolver.join_sides(JoinCondition("b.k", "c.k")) == ("i_ab", "c")
+
+    def test_unresolvable_column_raises(self):
+        query = Query(select=("a.x",), tables=(TableRef("ta", "a"),))
+        resolver = ColumnResolver(query, lookup)
+        with pytest.raises(QueryError):
+            resolver.provider("ghost.col")
+
+    def test_collision_detected(self):
+        # same dataset under two aliases is fine (different prefixes), but an
+        # intermediate clashing with a base alias is not
+        query = Query(
+            select=("a.x",),
+            tables=(TableRef("ta", "a"), TableRef("i_ab", "i_ab")),
+        )
+        with pytest.raises(QueryError):
+            ColumnResolver(query, lookup)
+
+    def test_columns_of(self):
+        query = Query(select=("a.x",), tables=(TableRef("ta", "a"),))
+        resolver = ColumnResolver(query, lookup)
+        assert resolver.columns_of("a") == {"a.x", "a.k"}
+
+    def test_join_graph_groups_pairs(self):
+        query = Query(
+            select=("a.x",),
+            tables=(TableRef("ta", "a"), TableRef("tb", "b")),
+            joins=(JoinCondition("a.k", "b.k"), JoinCondition("a.x", "b.y")),
+        )
+        graph = ColumnResolver(query, lookup).join_graph()
+        assert len(graph) == 1
+        assert len(graph[frozenset(("a", "b"))]) == 2
+
+    def test_join_graph_drops_absorbed_conditions(self):
+        # both sides of a.x = b.k live in the intermediate -> self-join, dropped
+        query = Query(
+            select=("a.x",),
+            tables=(TableRef("i_ab", "i_ab"), TableRef("tb", "c")),
+            joins=(JoinCondition("a.x", "b.k"), JoinCondition("b.k", "c.k")),
+        )
+        graph = ColumnResolver(query, lookup).join_graph()
+        assert len(graph) == 1
+        assert frozenset(("i_ab", "c")) in graph

@@ -1,0 +1,85 @@
+"""QueryBuilder tests."""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.lang.ast import (
+    BetweenPredicate,
+    ComparisonPredicate,
+    ParameterPredicate,
+    UdfPredicate,
+)
+from repro.lang.builder import QueryBuilder
+
+
+def base_builder():
+    return (
+        QueryBuilder()
+        .select("a.x")
+        .from_table("ta", "a")
+        .from_table("tb", "b")
+        .join("a.k", "b.k")
+    )
+
+
+class TestBuilder:
+    def test_full_query(self):
+        query = (
+            base_builder()
+            .where_eq("a.x", 1)
+            .where_between("a.y", 0, 9)
+            .where_param("b.z", "=", "p")
+            .where_udf("mymod10", "b.w", "=", 3)
+            .group_by("a.x")
+            .order_by("a.x")
+            .limit(5)
+            .bind(p=7)
+            .build()
+        )
+        assert query.select == ("a.x",)
+        kinds = [type(p) for p in query.predicates]
+        assert kinds == [
+            ComparisonPredicate,
+            BetweenPredicate,
+            ParameterPredicate,
+            UdfPredicate,
+        ]
+        assert query.limit == 5
+        assert query.parameters == {"p": 7}
+
+    def test_alias_defaults_to_dataset(self):
+        query = QueryBuilder().select("t.x").from_table("t").build()
+        assert query.tables[0].alias == "t"
+
+    def test_duplicate_alias_rejected_eagerly(self):
+        with pytest.raises(QueryError):
+            QueryBuilder().from_table("t", "a").from_table("u", "a")
+
+    def test_select_validates_shape(self):
+        with pytest.raises(QueryError):
+            QueryBuilder().select("unqualified")
+
+    def test_join_validates_shape(self):
+        with pytest.raises(QueryError):
+            base_builder().join("a.k", "bad")
+
+    def test_empty_from_rejected(self):
+        with pytest.raises(QueryError):
+            QueryBuilder().select("a.x").build()
+
+    def test_empty_select_rejected(self):
+        with pytest.raises(QueryError):
+            QueryBuilder().from_table("t").build()
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(QueryError):
+            base_builder().limit(-1)
+
+    def test_broadcast_hint(self):
+        query = (
+            QueryBuilder()
+            .select("a.x")
+            .from_table("ta", "a", broadcast_hint=True)
+            .build()
+        )
+        assert query.tables[0].broadcast_hint is True

@@ -1,0 +1,50 @@
+"""UDF registry tests."""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.lang.udf import UdfRegistry, default_registry
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = UdfRegistry()
+        registry.register("double", lambda v: v * 2)
+        assert registry.get("double")(3) == 6
+
+    def test_duplicate_rejected(self):
+        registry = UdfRegistry()
+        registry.register("f", lambda v: v)
+        with pytest.raises(QueryError):
+            registry.register("f", lambda v: v)
+
+    def test_missing_raises(self):
+        with pytest.raises(QueryError):
+            UdfRegistry().get("ghost")
+
+    def test_has_and_names(self):
+        registry = default_registry()
+        assert registry.has("myyear")
+        assert "mysub" in registry.names()
+
+
+class TestDefaultUdfs:
+    def test_myyear_cycle(self):
+        myyear = default_registry().get("myyear")
+        assert myyear(0) == 1992
+        assert myyear(6 * 365) == 1998
+        assert myyear(7 * 365) == 1992  # wraps
+        assert myyear(None) is None
+
+    def test_mysub_extracts_suffix(self):
+        mysub = default_registry().get("mysub")
+        assert mysub("Brand#3") == "#3"
+        assert mysub("Brand#42") == "#42"
+        assert mysub("NoHash") == "NoHash"
+        assert mysub(None) is None
+
+    def test_mymod(self):
+        registry = default_registry()
+        assert registry.get("mymod100")(250) == 50
+        assert registry.get("mymod10")(37) == 7
+        assert registry.get("mymod10")(None) is None

@@ -1,0 +1,71 @@
+"""DP join enumeration tests."""
+
+import pytest
+
+from repro.algebra.plan import JoinNode
+from repro.algebra.toolkit import PlannerToolkit
+from repro.common.errors import OptimizationError
+from repro.optimizers.enumeration import best_bushy_plan
+
+from tests.conftest import build_star_session, star_query
+
+
+@pytest.fixture(scope="module")
+def session():
+    return build_star_session()
+
+
+class TestEnumeration:
+    def test_covers_all_tables(self, session):
+        toolkit = PlannerToolkit(star_query(), session)
+        plan = best_bushy_plan(toolkit)
+        assert plan.aliases == frozenset(("fact", "da", "db", "dc"))
+
+    def test_every_join_has_conditions(self, session):
+        toolkit = PlannerToolkit(star_query(), session)
+        plan = best_bushy_plan(toolkit)
+        for node in plan.join_nodes():
+            assert node.build_keys and node.probe_keys
+
+    def test_no_cross_products_possible(self, session):
+        from repro.lang.ast import Query, TableRef
+
+        query = Query(
+            select=("da.a_id",),
+            tables=(TableRef("da", "da"), TableRef("db", "db")),
+        )
+        with pytest.raises(OptimizationError):
+            best_bushy_plan(PlannerToolkit(query, session))
+
+    def test_two_table_query(self, session):
+        from repro.lang.builder import QueryBuilder
+
+        query = (
+            QueryBuilder()
+            .select("fact.f_val")
+            .from_table("fact")
+            .from_table("da")
+            .join("fact.f_a", "da.a_id")
+            .build()
+        )
+        plan = best_bushy_plan(PlannerToolkit(query, session))
+        assert isinstance(plan, JoinNode)
+
+    def test_movement_aware_can_differ(self, session):
+        toolkit = PlannerToolkit(star_query(), session)
+        cout_plan = best_bushy_plan(toolkit)
+        aware_plan = best_bushy_plan(toolkit, movement_aware=True)
+        # both are valid complete plans (they may or may not coincide)
+        assert aware_plan.aliases == cout_plan.aliases
+
+    def test_cheaper_than_worst_by_cout(self, session):
+        """DP's plan must be at least as cheap (by its own metric) as any
+        single right-deep alternative."""
+        from repro.optimizers.from_order import from_order_plan
+
+        toolkit = PlannerToolkit(star_query(), session)
+        dp_plan = best_bushy_plan(toolkit)
+        linear = from_order_plan(toolkit, honor_hints=False)
+        assert toolkit.estimator.cout_cost(dp_plan) <= toolkit.estimator.cout_cost(
+            linear
+        ) * 1.0001

@@ -1,0 +1,45 @@
+"""Optimizer registry and lazy-export tests."""
+
+import pytest
+
+import repro.optimizers as optimizers
+from repro.common.errors import OptimizationError
+
+
+class TestRegistry:
+    def test_all_seven_registered(self):
+        assert sorted(optimizers.OPTIMIZERS) == [
+            "best_order",
+            "cost_based",
+            "dynamic",
+            "from_order",
+            "greedy_static",
+            "ingres",
+            "pilot_run",
+            "worst_order",
+        ]
+
+    def test_make_optimizer(self):
+        optimizer = optimizers.make_optimizer("dynamic")
+        assert optimizer.name == "dynamic"
+
+    def test_options_forwarded(self):
+        optimizer = optimizers.make_optimizer("dynamic", inl_enabled=True)
+        assert optimizer.inl_enabled is True
+
+    def test_unknown_rejected(self):
+        with pytest.raises(OptimizationError):
+            optimizers.make_optimizer("magic")
+
+    def test_lazy_exports(self):
+        assert optimizers.DynamicOptimizer.name == "dynamic"
+        assert optimizers.PilotRunOptimizer.name == "pilot_run"
+        assert callable(optimizers.best_bushy_plan)
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            optimizers.NotAThing
+
+    def test_names_match_classes(self):
+        for name in optimizers.OPTIMIZERS:
+            assert optimizers.optimizer_class(name).name == name

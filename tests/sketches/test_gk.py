@@ -1,0 +1,156 @@
+"""Greenwald-Khanna quantile sketch tests, including the epsilon rank bound."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import StatisticsError
+from repro.sketches.gk import GKQuantileSketch
+
+
+class TestValidation:
+    def test_epsilon_bounds(self):
+        for bad in (0.0, 1.0, -0.1, 2.0):
+            with pytest.raises(StatisticsError):
+                GKQuantileSketch(bad)
+
+    def test_empty_quantile_raises(self):
+        with pytest.raises(StatisticsError):
+            GKQuantileSketch().quantile(0.5)
+
+    def test_quantile_fraction_bounds(self):
+        sketch = GKQuantileSketch()
+        sketch.add(1.0)
+        with pytest.raises(StatisticsError):
+            sketch.quantile(1.5)
+
+    def test_buckets_positive(self):
+        sketch = GKQuantileSketch()
+        sketch.add(1.0)
+        with pytest.raises(StatisticsError):
+            sketch.quantiles(0)
+
+    def test_empty_min_max_raise(self):
+        with pytest.raises(StatisticsError):
+            GKQuantileSketch().minimum
+        with pytest.raises(StatisticsError):
+            GKQuantileSketch().maximum
+
+
+class TestBasics:
+    def test_count_tracks_inserts(self):
+        sketch = GKQuantileSketch()
+        sketch.extend(range(100))
+        assert len(sketch) == 100
+
+    def test_min_max_exact(self):
+        sketch = GKQuantileSketch(0.05)
+        values = [random.Random(1).uniform(-50, 50) for _ in range(1000)]
+        sketch.extend(values)
+        assert sketch.minimum == min(values)
+        assert sketch.maximum == max(values)
+
+    def test_single_value(self):
+        sketch = GKQuantileSketch()
+        sketch.add(7.0)
+        assert sketch.quantile(0.0) == 7.0
+        assert sketch.quantile(1.0) == 7.0
+
+    def test_quantiles_are_monotone(self):
+        sketch = GKQuantileSketch(0.02)
+        sketch.extend(random.Random(2).gauss(0, 1) for _ in range(5000))
+        borders = sketch.quantiles(16)
+        assert borders == sorted(borders)
+        assert borders[-1] == sketch.maximum
+
+    def test_rank_monotone(self):
+        sketch = GKQuantileSketch(0.02)
+        sketch.extend(range(1000))
+        assert sketch.rank(-1) == 0
+        assert sketch.rank(2000) == 1000
+        assert sketch.rank(100) <= sketch.rank(500)
+
+    def test_summary_much_smaller_than_stream(self):
+        sketch = GKQuantileSketch(0.01)
+        sketch.extend(random.Random(3).random() for _ in range(50_000))
+        assert sketch.summary_size() < 5_000
+
+
+class TestAccuracy:
+    def test_uniform_quantiles_within_epsilon(self):
+        epsilon = 0.01
+        n = 20_000
+        sketch = GKQuantileSketch(epsilon)
+        rng = random.Random(4)
+        values = [rng.random() for _ in range(n)]
+        sketch.extend(values)
+        ordered = sorted(values)
+        for q in (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            estimate = sketch.quantile(q)
+            true_rank = q * (n - 1)
+            # locate estimate's true rank; must be within ~2*eps*n
+            import bisect
+
+            est_rank = bisect.bisect_left(ordered, estimate)
+            assert abs(est_rank - true_rank) <= 2 * epsilon * n + 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            min_size=1,
+            max_size=400,
+        )
+    )
+    def test_rank_error_bound_property(self, values):
+        epsilon = 0.05
+        sketch = GKQuantileSketch(epsilon)
+        sketch.extend(values)
+        ordered = sorted(values)
+        n = len(values)
+        for q in (0.0, 0.5, 1.0):
+            estimate = sketch.quantile(q)
+            import bisect
+
+            lo = bisect.bisect_left(ordered, estimate)
+            hi = bisect.bisect_right(ordered, estimate)
+            target = q * (n - 1)
+            slack = 2 * epsilon * n + 1
+            assert lo - slack <= target <= hi + slack
+
+
+class TestMerge:
+    def test_merge_counts(self):
+        a, b = GKQuantileSketch(0.02), GKQuantileSketch(0.02)
+        a.extend(range(500))
+        b.extend(range(500, 1000))
+        merged = a.merge(b)
+        assert len(merged) == 1000
+        assert merged.minimum == 0
+        assert merged.maximum == 999
+
+    def test_merge_median_close(self):
+        rng = random.Random(5)
+        a, b = GKQuantileSketch(0.02), GKQuantileSketch(0.02)
+        values = [rng.gauss(10, 2) for _ in range(10_000)]
+        for i, value in enumerate(values):
+            (a if i % 2 else b).add(value)
+        merged = a.merge(b)
+        true_median = sorted(values)[5000]
+        assert abs(merged.quantile(0.5) - true_median) < 0.5
+
+    def test_merge_keeps_looser_epsilon(self):
+        a, b = GKQuantileSketch(0.01), GKQuantileSketch(0.05)
+        a.add(1.0)
+        b.add(2.0)
+        assert a.merge(b).epsilon == 0.05
+
+    def test_merge_does_not_mutate_inputs(self):
+        a, b = GKQuantileSketch(), GKQuantileSketch()
+        a.extend(range(10))
+        b.extend(range(10))
+        a.merge(b)
+        assert len(a) == 10
+        assert len(b) == 10

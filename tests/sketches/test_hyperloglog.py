@@ -1,0 +1,92 @@
+"""HyperLogLog distinct-count tests, including the relative error bound."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import StatisticsError
+from repro.sketches.hyperloglog import HyperLogLog
+
+
+class TestValidation:
+    def test_precision_bounds(self):
+        for bad in (3, 19, 0):
+            with pytest.raises(StatisticsError):
+                HyperLogLog(bad)
+
+    def test_merge_precision_mismatch(self):
+        with pytest.raises(StatisticsError):
+            HyperLogLog(10).merge(HyperLogLog(12))
+
+
+class TestAccuracy:
+    def test_empty_is_zero(self):
+        assert HyperLogLog().cardinality() == 0.0
+
+    def test_small_exact_via_linear_counting(self):
+        hll = HyperLogLog(12)
+        for i in range(50):
+            hll.add(i)
+        assert abs(hll.cardinality() - 50) <= 2
+
+    def test_duplicates_ignored(self):
+        hll = HyperLogLog(12)
+        for _ in range(10_000):
+            hll.add("same")
+        assert abs(hll.cardinality() - 1) <= 0.5
+
+    @pytest.mark.parametrize("true_count", (1000, 10_000, 100_000))
+    def test_relative_error(self, true_count):
+        hll = HyperLogLog(12)
+        for i in range(true_count):
+            hll.add(i)
+        estimate = hll.cardinality()
+        # expected relative std error ~1.6%; allow 5 sigma
+        assert abs(estimate - true_count) / true_count < 5 * hll.relative_error
+
+    def test_strings_and_ints_distinct_domains(self):
+        hll = HyperLogLog(12)
+        for i in range(500):
+            hll.add(i)
+            hll.add(str(i))
+        assert abs(hll.cardinality() - 1000) < 100
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.sets(st.integers(), min_size=0, max_size=300))
+    def test_linear_regime_property(self, values):
+        hll = HyperLogLog(12)
+        for value in values:
+            hll.add(value)
+        if values:
+            assert abs(hll.cardinality() - len(values)) <= max(3, 0.1 * len(values))
+
+
+class TestMerge:
+    def test_merge_equals_union(self):
+        a, b = HyperLogLog(12), HyperLogLog(12)
+        for i in range(3000):
+            a.add(i)
+        for i in range(1500, 4500):
+            b.add(i)
+        union = a.merge(b).cardinality()
+        assert abs(union - 4500) / 4500 < 0.08
+
+    def test_merge_idempotent_on_same_stream(self):
+        a, b = HyperLogLog(12), HyperLogLog(12)
+        for i in range(2000):
+            a.add(i)
+            b.add(i)
+        assert abs(a.merge(b).cardinality() - a.cardinality()) < 1e-9
+
+    def test_merge_does_not_mutate(self):
+        a, b = HyperLogLog(12), HyperLogLog(12)
+        a.add(1)
+        b.add(2)
+        a.merge(b)
+        assert abs(a.cardinality() - 1) <= 0.5
+
+    def test_len_counts_raw_insertions(self):
+        hll = HyperLogLog(12)
+        for _ in range(7):
+            hll.add("x")
+        assert len(hll) == 7

@@ -1,0 +1,55 @@
+"""Reservoir sample tests."""
+
+import pytest
+
+from repro.common.errors import StatisticsError
+from repro.sketches.reservoir import ReservoirSample
+
+
+class TestReservoir:
+    def test_capacity_validated(self):
+        with pytest.raises(StatisticsError):
+            ReservoirSample(0)
+
+    def test_under_capacity_keeps_all(self):
+        sample = ReservoirSample(10)
+        sample.extend(range(5))
+        assert sorted(sample.items) == [0, 1, 2, 3, 4]
+        assert sample.sampling_fraction == 1.0
+
+    def test_capacity_respected(self):
+        sample = ReservoirSample(10)
+        sample.extend(range(1000))
+        assert len(sample.items) == 10
+        assert sample.seen == 1000
+        assert sample.sampling_fraction == pytest.approx(0.01)
+
+    def test_deterministic_under_seed(self):
+        a, b = ReservoirSample(5, seed=9), ReservoirSample(5, seed=9)
+        a.extend(range(100))
+        b.extend(range(100))
+        assert a.items == b.items
+
+    def test_different_seeds_differ(self):
+        a, b = ReservoirSample(5, seed=1), ReservoirSample(5, seed=2)
+        a.extend(range(1000))
+        b.extend(range(1000))
+        assert a.items != b.items
+
+    def test_items_are_a_copy(self):
+        sample = ReservoirSample(3)
+        sample.extend(range(3))
+        sample.items.append(99)
+        assert len(sample.items) == 3
+
+    def test_roughly_uniform(self):
+        # Every element should appear with probability ~k/n across seeds.
+        hits = [0] * 100
+        for seed in range(200):
+            sample = ReservoirSample(10, seed=seed)
+            sample.extend(range(100))
+            for item in sample.items:
+                hits[item] += 1
+        # expectation 20 each; allow wide tolerance
+        assert min(hits) > 5
+        assert max(hits) < 45

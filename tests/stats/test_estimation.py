@@ -1,0 +1,159 @@
+"""Cardinality and selectivity estimation tests (formula 1, defaults)."""
+
+import pytest
+
+from repro.lang.ast import (
+    BetweenPredicate,
+    ComparisonPredicate,
+    JoinCondition,
+    ParameterPredicate,
+    UdfPredicate,
+)
+from repro.stats.catalog import DatasetStatistics
+from repro.stats.collector import StatisticsCollector
+from repro.stats.estimation import (
+    DEFAULT_EQUALITY_SELECTIVITY,
+    DEFAULT_INEQUALITY_SELECTIVITY,
+    conjunctive_selectivity,
+    default_selectivity,
+    filtered_cardinality,
+    join_cardinality,
+    predicate_selectivity,
+)
+
+
+def stats_for(rows, name="t", width=40, scale=1.0, predicates_applied=False):
+    fields = sorted({key for row in rows for key in row})
+    collector = StatisticsCollector(fields)
+    collector.observe_rows(rows)
+    return DatasetStatistics(
+        name,
+        len(rows),
+        width,
+        dict(collector.fields),
+        predicates_applied=predicates_applied,
+        scale=scale,
+    )
+
+
+@pytest.fixture(scope="module")
+def uniform_stats():
+    return stats_for([{"x": i % 100, "label": f"v{i % 4}"} for i in range(10_000)])
+
+
+class TestDefaults:
+    def test_equality_default(self):
+        assert default_selectivity("=") == DEFAULT_EQUALITY_SELECTIVITY
+        assert default_selectivity("!=") == DEFAULT_EQUALITY_SELECTIVITY
+
+    def test_inequality_default(self):
+        for op in ("<", "<=", ">", ">="):
+            assert default_selectivity(op) == DEFAULT_INEQUALITY_SELECTIVITY
+
+    def test_udf_predicate_gets_default(self, uniform_stats):
+        predicate = UdfPredicate("t.x", "mymod10", "=", 3)
+        assert predicate_selectivity(uniform_stats, predicate) == (
+            DEFAULT_EQUALITY_SELECTIVITY
+        )
+
+    def test_parameter_predicate_gets_default(self, uniform_stats):
+        predicate = ParameterPredicate("t.x", ">", "p")
+        assert predicate_selectivity(uniform_stats, predicate) == (
+            DEFAULT_INEQUALITY_SELECTIVITY
+        )
+
+    def test_unknown_field_gets_default(self, uniform_stats):
+        predicate = ComparisonPredicate("t.ghost", "=", 1)
+        assert predicate_selectivity(uniform_stats, predicate) == (
+            DEFAULT_EQUALITY_SELECTIVITY
+        )
+
+
+class TestHistogramEstimates:
+    def test_range_estimate(self, uniform_stats):
+        predicate = ComparisonPredicate("t.x", "<", 50)
+        assert predicate_selectivity(uniform_stats, predicate) == pytest.approx(
+            0.5, abs=0.08
+        )
+
+    def test_between_estimate(self, uniform_stats):
+        predicate = BetweenPredicate("t.x", 20, 39)
+        assert predicate_selectivity(uniform_stats, predicate) == pytest.approx(
+            0.2, abs=0.08
+        )
+
+    def test_string_equality_uses_distinct(self, uniform_stats):
+        predicate = ComparisonPredicate("t.label", "=", "v2")
+        assert predicate_selectivity(uniform_stats, predicate) == pytest.approx(
+            0.25, abs=0.05
+        )
+
+    def test_non_numeric_between_defaults(self, uniform_stats):
+        predicate = BetweenPredicate("t.label", "a", "z")
+        assert predicate_selectivity(uniform_stats, predicate) == (
+            DEFAULT_INEQUALITY_SELECTIVITY
+        )
+
+
+class TestConjunctions:
+    def test_independence_multiplication(self, uniform_stats):
+        predicates = [
+            ComparisonPredicate("t.x", "<", 50),
+            ComparisonPredicate("t.label", "=", "v2"),
+        ]
+        combined = conjunctive_selectivity(uniform_stats, predicates)
+        assert combined == pytest.approx(0.5 * 0.25, abs=0.05)
+
+    def test_filtered_cardinality(self, uniform_stats):
+        predicates = [ComparisonPredicate("t.x", "<", 10)]
+        assert filtered_cardinality(uniform_stats, predicates) == pytest.approx(
+            1000, rel=0.35
+        )
+
+    def test_predicates_applied_passthrough(self):
+        stats = stats_for([{"x": 1}] * 10, predicates_applied=True)
+        predicates = [ComparisonPredicate("t.x", "=", 1)]
+        assert filtered_cardinality(stats, predicates) == 10
+
+    def test_empty_conjunction_is_one(self, uniform_stats):
+        assert conjunctive_selectivity(uniform_stats, []) == 1.0
+
+
+class TestJoinCardinality:
+    def make_sides(self):
+        left = stats_for(
+            [{"k": i % 50, "v": i} for i in range(1000)], name="left"
+        )
+        right = stats_for([{"k": i} for i in range(50)], name="right")
+        return left, right
+
+    def test_fk_join_estimate(self):
+        left, right = self.make_sides()
+        conditions = [JoinCondition("left.k", "right.k")]
+        estimate = join_cardinality(left, right, conditions)
+        # |left ⋈ right| should be ~|left| for a fk join
+        assert estimate == pytest.approx(1000, rel=0.15)
+
+    def test_filtered_rows_override(self):
+        left, right = self.make_sides()
+        conditions = [JoinCondition("left.k", "right.k")]
+        estimate = join_cardinality(left, right, conditions, left_rows=100)
+        assert estimate == pytest.approx(100, rel=0.15)
+
+    def test_composite_uses_most_selective_conjunct(self):
+        rows_left = [{"a": i % 20, "b": i % 400} for i in range(1000)]
+        rows_right = [{"a": i % 20, "b": i % 400} for i in range(1000)]
+        left, right = stats_for(rows_left, "l"), stats_for(rows_right, "r")
+        conditions = [JoinCondition("l.a", "r.a"), JoinCondition("l.b", "r.b")]
+        estimate = join_cardinality(left, right, conditions)
+        # divide by max U (~400), not by 20*400
+        assert estimate == pytest.approx(1000 * 1000 / 400, rel=0.2)
+
+    def test_no_conditions_is_cross_product(self):
+        left, right = self.make_sides()
+        assert join_cardinality(left, right, []) == 1000 * 50
+
+    def test_never_negative(self):
+        left, right = self.make_sides()
+        conditions = [JoinCondition("left.k", "right.k")]
+        assert join_cardinality(left, right, conditions, left_rows=0) == 0.0
