@@ -3,7 +3,9 @@
 Executes TPC-DS Q17 with the dynamic optimizer and prints the Figure-4 job
 sequence — predicate push-down subjobs, each re-optimization point's chosen
 join, the materialized intermediates, and the final plan — plus the
-Figure-6 style overhead decomposition of the run.
+Figure-6 style overhead decomposition of the run, the execution trace's
+EXPLAIN ANALYZE report (estimated vs actual rows with Q-error per
+re-optimization point), and a Chrome-trace export for chrome://tracing.
 
 Run:  python examples/reoptimization_trace.py
 """
@@ -51,6 +53,16 @@ def main() -> None:
     for component, seconds in result.metrics.breakdown().items():
         if seconds:
             print(f"  {component:12s} {seconds:9.2f}s")
+    print()
+
+    print("EXPLAIN ANALYZE (per-phase operator spans, est vs actual rows):")
+    print(result.explain_analyze())
+    print()
+
+    trace_path = "q17_dynamic.trace.json"
+    with open(trace_path, "w") as handle:
+        handle.write(result.trace.to_chrome_trace())
+    print(f"Chrome trace written to {trace_path} (open in chrome://tracing)")
     print()
 
     # Replay the captured plan as one job: the dynamic overhead is the delta.

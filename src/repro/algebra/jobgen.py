@@ -103,6 +103,9 @@ def compile_plan(
             else HashJoinOp
         )
         op = op_type(build_op, probe_op, plan.build_keys, plan.probe_keys)
+    # Carry the planner's cardinality estimate onto the physical operator so
+    # the tracer can pair it with the measured output (estimate accuracy).
+    op.estimated_rows = plan.estimated_rows
     if required is not None:
         keep = sorted(required & node_provides(plan, datasets))
         if keep:

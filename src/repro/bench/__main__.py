@@ -15,10 +15,11 @@ from repro.bench import (
     comparison,
     overhead,
     plans,
+    runner,
     table1,
 )
 
-EXPERIMENTS = ("fig6", "fig7", "fig8", "table1", "plans")
+EXPERIMENTS = ("fig6", "fig7", "fig8", "table1", "plans", "qerror")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -67,6 +68,11 @@ def main(argv: list[str] | None = None) -> int:
     if "fig8" in chosen:
         print("=== Figure 8: comparison with INL join enabled ===")
         print(comparison.format_cells(comparison.figure8(comparison_sfs, seed=args.seed)))
+        print()
+    if "qerror" in chosen:
+        print("=== Estimate accuracy: Q-error per optimizer at the final stage ===")
+        qerror_sfs = tuple(args.sf) if args.sf else (10,)
+        print(runner.format_qerror(runner.qerror_rows(qerror_sfs, seed=args.seed)))
         print()
     if "plans" in chosen:
         print("=== Appendix: plans generated per optimizer (Figures 11-23) ===")

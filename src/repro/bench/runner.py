@@ -32,6 +32,9 @@ COMPARISON_OPTIMIZERS = (
     "pilot_run",
     "ingres",
 )
+#: strategies tabulated in the estimate-accuracy (Q-error) report — the
+#: Figure 7 set plus stock AsterixDB's FROM-order execution
+QERROR_OPTIMIZERS = COMPARISON_OPTIMIZERS + ("from_order",)
 
 _WORKLOADS = {"tpch": tpch, "tpcds": tpcds}
 
@@ -102,3 +105,77 @@ def run_query(
         return bench.session.execute(query, optimizer=optimizer, **options)
     finally:
         bench.session.reset_intermediates()
+
+
+# -- estimate accuracy ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QErrorRow:
+    """Per-(query, scale factor, optimizer) estimate-accuracy summary."""
+
+    query: str
+    scale_factor: int
+    optimizer: str
+    records: int
+    final: float | None
+    worst: float | None
+    mean: float | None
+
+
+def qerror_rows(
+    scale_factors=(10,),
+    queries: tuple[str, ...] | None = None,
+    optimizers: tuple[str, ...] = QERROR_OPTIMIZERS,
+    seed: int = 42,
+) -> list[QErrorRow]:
+    """Collect the paper's headline observability signal: how far each
+    strategy's cardinality estimates land from the measured actuals."""
+    from repro.obs.report import qerror_stats
+
+    rows = []
+    for scale_factor in scale_factors:
+        for label in queries or tuple(QUERIES):
+            for optimizer in optimizers:
+                result = run_query(label, scale_factor, optimizer, seed=seed)
+                stats = qerror_stats(result.trace)
+                rows.append(
+                    QErrorRow(
+                        query=label,
+                        scale_factor=scale_factor,
+                        optimizer=optimizer,
+                        records=stats["records"],
+                        final=stats["final"],
+                        worst=stats["worst"],
+                        mean=stats["mean"],
+                    )
+                )
+    return rows
+
+
+def format_qerror(rows: list[QErrorRow]) -> str:
+    """Render Q-error summaries grouped like the Figure 7 bar groups."""
+
+    def fmt(value: float | None) -> str:
+        if value is None:
+            return "-"
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.2f}"
+
+    lines = []
+    groups: dict[tuple[int, str], list[QErrorRow]] = {}
+    for row in rows:
+        groups.setdefault((row.scale_factor, row.query), []).append(row)
+    for (scale_factor, query), group in sorted(groups.items()):
+        lines.append(f"{query} @ SF {scale_factor} — estimate accuracy (Q-error)")
+        lines.append(
+            f"  {'optimizer':12s} {'points':>6s} {'final':>8s}"
+            f" {'worst':>8s} {'mean':>8s}"
+        )
+        for row in group:
+            lines.append(
+                f"  {row.optimizer:12s} {row.records:6d} {fmt(row.final):>8s}"
+                f" {fmt(row.worst):>8s} {fmt(row.mean):>8s}"
+            )
+    return "\n".join(lines)

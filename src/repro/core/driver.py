@@ -22,6 +22,7 @@ from repro.core.predicate_pushdown import execute_pushdowns
 from repro.core.reconstruction import reconstruct_after_join
 from repro.engine.metrics import ExecutionResult, JobMetrics
 from repro.lang.ast import Query
+from repro.obs.trace import Tracer
 from repro.optimizers.base import Optimizer
 from repro.algebra.toolkit import PlannerToolkit
 from repro.stats.catalog import StatisticsCatalog
@@ -106,6 +107,9 @@ class DriverState:
     metrics: JobMetrics = field(default_factory=JobMetrics)
     phases: list[str] = field(default_factory=list)
     iteration: int = 0
+    #: execution tracer; checkpointed with the rest of the state so a
+    #: resumed run extends the same trace instead of starting a new one
+    tracer: Tracer = field(default_factory=Tracer)
 
 
 class SimulatedFailure(RuntimeError):
@@ -146,7 +150,12 @@ class DynamicOptimizer(Optimizer):
     # -- hooks for subclasses ---------------------------------------------------
 
     def prepare_statistics(
-        self, query: Query, session, metrics: JobMetrics, phases: list[str]
+        self,
+        query: Query,
+        session,
+        metrics: JobMetrics,
+        phases: list[str],
+        tracer: Tracer | None = None,
     ) -> StatisticsCatalog:
         """Statistics the run starts from: ingestion-time sketches."""
         return session.statistics.copy()
@@ -156,18 +165,20 @@ class DynamicOptimizer(Optimizer):
     def execute(self, query: Query, session) -> ExecutionResult:
         metrics = JobMetrics()
         phases: list[str] = []
-        working = self.prepare_statistics(query, session, metrics, phases)
+        tracer = Tracer(query_label=f"{self.name}: {', '.join(query.aliases)}")
+        working = self.prepare_statistics(query, session, metrics, phases, tracer)
         state = DriverState(
             original=query,
             current=query,
             working=working,
             metrics=metrics,
             phases=phases,
+            tracer=tracer,
         )
 
         if self.pushdown_enabled:
             outcome = execute_pushdowns(
-                state.current, session, working, metrics, phases
+                state.current, session, working, metrics, phases, tracer=tracer
             )
             state.current = outcome.query
             for alias, name in outcome.intermediates.items():
@@ -180,6 +191,7 @@ class DynamicOptimizer(Optimizer):
                 # The Figure-6 "no online statistics" execution: sketches are
                 # still collected (identical plans) but their cost is refunded.
                 metrics.stats = 0.0
+                tracer.sync(metrics.total_seconds)
         self._maybe_fail(state)
 
         if not self.reoptimize_joins:
@@ -218,13 +230,16 @@ class DynamicOptimizer(Optimizer):
                 session.datasets,
                 phase=f"join-{state.iteration}",
             )
-            _, job_metrics = session.executor.execute(
-                job, query.parameters, state.working
-            )
-            if not self.charge_online_stats:
-                job_metrics.stats = 0.0
-            state.metrics.merge(job_metrics)
-            state.phases.append(f"join:{'+'.join(sorted(picked.pair))}")
+            phase_name = f"join:{'+'.join(sorted(picked.pair))}"
+            with state.tracer.phase(phase_name):
+                _, job_metrics = session.executor.execute(
+                    job, query.parameters, state.working, tracer=state.tracer
+                )
+                if not self.charge_online_stats:
+                    job_metrics.stats = 0.0
+                state.metrics.merge(job_metrics)
+                state.tracer.sync(state.metrics.total_seconds)
+            state.phases.append(phase_name)
             state.registry[name] = resolve_logical(picked.node, state.registry)
             state.current = reconstruct_after_join(
                 state.current, toolkit.resolver, picked.pair, name
@@ -237,12 +252,14 @@ class DynamicOptimizer(Optimizer):
         )
         plan = Planner(toolkit, self.rank).final_plan()
         job = build_final_job(plan, state.current, session.datasets)
-        data, job_metrics = session.executor.execute(
-            job, query.parameters, state.working
-        )
-        if not self.charge_online_stats:
-            job_metrics.stats = 0.0
-        state.metrics.merge(job_metrics)
+        with state.tracer.phase("final"):
+            data, job_metrics = session.executor.execute(
+                job, query.parameters, state.working, tracer=state.tracer
+            )
+            if not self.charge_online_stats:
+                job_metrics.stats = 0.0
+            state.metrics.merge(job_metrics)
+            state.tracer.sync(state.metrics.total_seconds)
         state.phases.append("final")
 
         self.last_tree = resolve_logical(plan, state.registry)
@@ -251,6 +268,7 @@ class DynamicOptimizer(Optimizer):
             metrics=state.metrics,
             plan_description=self.last_tree.describe(),
             phases=state.phases,
+            trace=state.tracer.finish(),
         )
 
     def _maybe_fail(self, state: DriverState) -> None:
@@ -298,10 +316,12 @@ class DynamicOptimizer(Optimizer):
             state.current, session, state.working, self.inl_enabled
         )
         job = build_final_job(plan, state.current, session.datasets)
-        data, job_metrics = session.executor.execute(
-            job, original.parameters, state.working
-        )
-        state.metrics.merge(job_metrics)
+        with state.tracer.phase("single-shot"):
+            data, job_metrics = session.executor.execute(
+                job, original.parameters, state.working, tracer=state.tracer
+            )
+            state.metrics.merge(job_metrics)
+            state.tracer.sync(state.metrics.total_seconds)
         state.phases.append("single-shot")
         self.last_tree = resolve_logical(plan, state.registry)
         return ExecutionResult(
@@ -309,4 +329,5 @@ class DynamicOptimizer(Optimizer):
             metrics=state.metrics,
             plan_description=self.last_tree.describe(),
             phases=state.phases,
+            trace=state.tracer.finish(),
         )

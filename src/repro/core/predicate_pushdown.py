@@ -17,7 +17,9 @@ from repro.core.reconstruction import replace_filtered_table
 from repro.engine.metrics import JobMetrics
 from repro.lang.ast import Query
 from repro.lang.binding import ColumnResolver
+from repro.obs.trace import Tracer
 from repro.stats.catalog import StatisticsCatalog
+from repro.stats.estimation import filtered_cardinality
 
 
 @dataclass
@@ -47,6 +49,7 @@ def execute_pushdowns(
     working_statistics: StatisticsCatalog,
     metrics: JobMetrics,
     phases: list[str],
+    tracer: Tracer | None = None,
 ) -> PushdownOutcome:
     """Run every qualifying single-variable query; return the rewritten query.
 
@@ -76,11 +79,31 @@ def execute_pushdowns(
             name,
             stats_columns,
         )
-        _, job_metrics = session.executor.execute(
-            job, query.parameters, working_statistics
-        )
-        metrics.merge(job_metrics)
-        phases.append(f"pushdown:{alias}")
+        phase_name = f"pushdown:{alias}"
+        if tracer is None:
+            _, job_metrics = session.executor.execute(
+                job, query.parameters, working_statistics
+            )
+            metrics.merge(job_metrics)
+        else:
+            # Push-downs are re-optimization points: record the estimate the
+            # static statistics would have produced against the measured
+            # post-predicate cardinality (all in modeled full-scale rows).
+            base_stats = working_statistics.get(candidate.table.dataset)
+            estimated = (
+                filtered_cardinality(base_stats, candidate.predicates)
+                * base_stats.scale
+            )
+            with tracer.phase(phase_name):
+                data, job_metrics = session.executor.execute(
+                    job, query.parameters, working_statistics, tracer=tracer
+                )
+                metrics.merge(job_metrics)
+                tracer.sync(metrics.total_seconds)
+            tracer.record_estimate(
+                phase_name, f"σ({alias})", estimated, data.modeled_rows
+            )
+        phases.append(phase_name)
         current = replace_filtered_table(current, alias, name)
         executed.append(alias)
         intermediates[alias] = name

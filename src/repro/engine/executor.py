@@ -43,12 +43,16 @@ class Executor:
         job: Job,
         parameters: dict | None = None,
         statistics: StatisticsCatalog | None = None,
+        tracer=None,
     ) -> tuple[PartitionedData, JobMetrics]:
         """Run one job; returns its output data and this job's metrics.
 
         ``statistics`` overrides the catalog that Sink operators register
         online statistics into — optimizers pass their private working copy
         so experiment runs never pollute the session's ingestion statistics.
+        ``tracer`` (an :class:`repro.obs.Tracer`) makes every operator open a
+        trace span; it observes metrics without charging anything, so the
+        returned metrics are identical with or without it.
         """
         metrics = JobMetrics()
         metrics.jobs = 1
@@ -60,6 +64,7 @@ class Executor:
             statistics=statistics if statistics is not None else self.statistics,
             evaluation=EvaluationContext(parameters or {}, self.udfs),
             metrics=metrics,
+            tracer=tracer,
         )
         data = job.root.run(state)
         return data, metrics

@@ -85,7 +85,17 @@ class ExecutionResult:
     metrics: JobMetrics
     plan_description: str = ""
     phases: list[str] = field(default_factory=list)
+    #: structured execution trace (repro.obs.QueryTrace): hierarchical spans
+    #: plus estimated-vs-actual cardinality records; None only for results
+    #: assembled outside the traced execution paths.
+    trace: object | None = None
 
     @property
     def seconds(self) -> float:
         return self.metrics.total_seconds
+
+    def explain_analyze(self) -> str:
+        """Plan-with-actuals report; requires a captured trace."""
+        if self.trace is None:
+            return "no execution trace captured"
+        return self.trace.explain_analyze()

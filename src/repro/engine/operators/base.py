@@ -11,6 +11,7 @@ faithful to operator-level data movement.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.cost import CostModel
@@ -19,6 +20,9 @@ from repro.engine.metrics import JobMetrics
 from repro.lang.ast import EvaluationContext
 from repro.stats.catalog import StatisticsCatalog
 from repro.storage.catalog import DatasetCatalog
+
+if TYPE_CHECKING:
+    from repro.obs.trace import Tracer
 
 
 @dataclass
@@ -31,6 +35,8 @@ class ExecState:
     statistics: StatisticsCatalog
     evaluation: EvaluationContext
     metrics: JobMetrics
+    #: optional observer; operators open a span around each ``run``
+    tracer: "Tracer | None" = None
 
     def charge(self, component: str, seconds: float) -> None:
         setattr(self.metrics, component, getattr(self.metrics, component) + seconds)
@@ -41,8 +47,32 @@ class PhysicalOperator:
 
     #: Children evaluated before this operator (subclasses override).
     children: tuple["PhysicalOperator", ...] = ()
+    #: compile-time cardinality estimate (modeled rows) for join operators;
+    #: set by ``compile_plan`` so the tracer can record estimate accuracy.
+    estimated_rows: float | None = None
 
     def run(self, state: ExecState) -> PartitionedData:
+        """Execute the operator, wrapped in a trace span when tracing is on.
+
+        Tracing observes the metrics object before/after ``execute`` — it
+        never charges the cost model, so simulated times are identical with
+        and without a tracer.
+        """
+        tracer = state.tracer
+        if tracer is None:
+            return self.execute(state)
+        token = tracer.begin_operator(self.label(), state.metrics)
+        data = self.execute(state)
+        tracer.end_operator(
+            token,
+            state.metrics,
+            rows_out=data.row_count,
+            modeled_rows_out=data.modeled_rows,
+            estimated_rows=self.estimated_rows,
+        )
+        return data
+
+    def execute(self, state: ExecState) -> PartitionedData:
         raise NotImplementedError
 
     def label(self) -> str:

@@ -83,7 +83,7 @@ class HashJoinOp(PhysicalOperator):
         self.build_keys = tuple(build_keys)
         self.probe_keys = tuple(probe_keys)
 
-    def run(self, state: ExecState) -> PartitionedData:
+    def execute(self, state: ExecState) -> PartitionedData:
         build = self.children[0].run(state)
         probe = self.children[1].run(state)
         partition_count = state.cluster.partitions
@@ -168,7 +168,7 @@ class BroadcastJoinOp(PhysicalOperator):
         self.build_keys = tuple(build_keys)
         self.probe_keys = tuple(probe_keys)
 
-    def run(self, state: ExecState) -> PartitionedData:
+    def execute(self, state: ExecState) -> PartitionedData:
         build = self.children[0].run(state)
         probe = self.children[1].run(state)
 
@@ -247,7 +247,7 @@ class IndexNestedLoopJoinOp(PhysicalOperator):
         self.build_keys = tuple(build_keys)
         self.inner_fields = tuple(inner_fields)  # *plain* field names
 
-    def run(self, state: ExecState) -> PartitionedData:
+    def execute(self, state: ExecState) -> PartitionedData:
         build = self.children[0].run(state)
         dataset = state.datasets.get(self.inner_dataset)
         if dataset.is_intermediate:

@@ -21,7 +21,7 @@ class ScanOp(PhysicalOperator):
         self.dataset = dataset
         self.alias = alias
 
-    def run(self, state: ExecState) -> PartitionedData:
+    def execute(self, state: ExecState) -> PartitionedData:
         dataset = state.datasets.get(self.dataset)
         if dataset.is_intermediate:
             raise ExecutionError(
@@ -52,7 +52,7 @@ class ReaderOp(PhysicalOperator):
     def __init__(self, dataset: str) -> None:
         self.dataset = dataset
 
-    def run(self, state: ExecState) -> PartitionedData:
+    def execute(self, state: ExecState) -> PartitionedData:
         dataset = state.datasets.get(self.dataset)
         if not dataset.is_intermediate:
             raise ExecutionError(

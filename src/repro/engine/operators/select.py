@@ -21,7 +21,7 @@ class SelectOp(PhysicalOperator):
         self.children = (child,)
         self.predicates = tuple(predicates)
 
-    def run(self, state: ExecState) -> PartitionedData:
+    def execute(self, state: ExecState) -> PartitionedData:
         data = self.children[0].run(state)
         evaluation = state.evaluation
         filtered = [
@@ -53,7 +53,7 @@ class AssignOp(PhysicalOperator):
         self.udf = udf
         self.column = column
 
-    def run(self, state: ExecState) -> PartitionedData:
+    def execute(self, state: ExecState) -> PartitionedData:
         data = self.children[0].run(state)
         fn = state.evaluation.udfs.get(self.udf)
         for partition in data.partitions:
@@ -77,7 +77,7 @@ class ProjectOp(PhysicalOperator):
         self.children = (child,)
         self.columns = tuple(columns)
 
-    def run(self, state: ExecState) -> PartitionedData:
+    def execute(self, state: ExecState) -> PartitionedData:
         data = self.children[0].run(state)
         projected = data.project(self.columns)
         state.charge("compute", state.cost.probe(data.modeled_rows))

@@ -32,7 +32,7 @@ class SinkOp(PhysicalOperator):
         self.keep_columns = tuple(keep_columns)
         self.stats_columns = tuple(stats_columns)
 
-    def run(self, state: ExecState) -> PartitionedData:
+    def execute(self, state: ExecState) -> PartitionedData:
         data = self.children[0].run(state)
         projected = data.project(self.keep_columns)
 
@@ -83,7 +83,7 @@ class DistributeResultOp(PhysicalOperator):
     def __init__(self, child: PhysicalOperator) -> None:
         self.children = (child,)
 
-    def run(self, state: ExecState) -> PartitionedData:
+    def execute(self, state: ExecState) -> PartitionedData:
         data = self.children[0].run(state)
         state.charge(
             "output", state.cost.result_output(data.modeled_rows, data.row_width)

@@ -21,7 +21,7 @@ class GroupByOp(PhysicalOperator):
         self.children = (child,)
         self.keys = tuple(keys)
 
-    def run(self, state: ExecState) -> PartitionedData:
+    def execute(self, state: ExecState) -> PartitionedData:
         data = self.children[0].run(state)
         keys = self.keys
         partitions = data.partitions
@@ -64,7 +64,7 @@ class OrderByOp(PhysicalOperator):
         self.children = (child,)
         self.keys = tuple(keys)
 
-    def run(self, state: ExecState) -> PartitionedData:
+    def execute(self, state: ExecState) -> PartitionedData:
         data = self.children[0].run(state)
         rows = sorted(
             data.all_rows(),
@@ -95,7 +95,7 @@ class LimitOp(PhysicalOperator):
         self.children = (child,)
         self.n = n
 
-    def run(self, state: ExecState) -> PartitionedData:
+    def execute(self, state: ExecState) -> PartitionedData:
         data = self.children[0].run(state)
         remaining = self.n
         partitions = []

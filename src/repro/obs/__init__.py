@@ -1,0 +1,33 @@
+"""Observability: structured execution tracing and estimate-accuracy records.
+
+The paper's argument is that re-optimization points shrink the gap between
+*estimated* and *actual* join cardinalities. This package makes that gap a
+first-class, queryable artifact: every execution produces a
+:class:`QueryTrace` of hierarchical spans (query → phase → operator) stamped
+with the simulated-time clock and per-operator counters, plus an
+:class:`EstimateRecord` for every point where a planner's cardinality
+estimate met a measured actual — the Q-error signal of Izenov et al. 2021.
+
+Tracing is pure instrumentation: it observes :class:`JobMetrics` deltas and
+never charges the cost model, so simulated times are bit-identical with and
+without a tracer attached.
+"""
+
+from repro.obs.trace import (
+    EstimateRecord,
+    QueryTrace,
+    Span,
+    Tracer,
+    q_error,
+)
+from repro.obs.report import render_explain_analyze, qerror_stats
+
+__all__ = [
+    "EstimateRecord",
+    "QueryTrace",
+    "Span",
+    "Tracer",
+    "q_error",
+    "qerror_stats",
+    "render_explain_analyze",
+]

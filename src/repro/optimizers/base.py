@@ -12,6 +12,7 @@ from repro.algebra.jobgen import build_final_job
 from repro.algebra.plan import PlanNode
 from repro.engine.metrics import ExecutionResult, JobMetrics
 from repro.lang.ast import Query
+from repro.obs.trace import Tracer
 
 
 class Optimizer:
@@ -32,16 +33,24 @@ def execute_tree(
     This is how the best-order baseline and the Figure-6 "statistics
     upfront" baseline run: the join tree is known in advance, so there are
     no re-optimization points, no materialization, and no online statistics
-    — just a single job whose leaves filter inline.
+    — just a single job whose leaves filter inline. The trace still carries
+    an estimate record per join operator, so static plans' estimate accuracy
+    is directly comparable with the dynamic approach's.
     """
+    phase_label = label or "single-job"
     job = build_final_job(tree, query, session.datasets)
-    data, job_metrics = session.executor.execute(
-        job, query.parameters, session.statistics.copy()
-    )
-    metrics = JobMetrics().merge(job_metrics)
+    tracer = Tracer(query_label=f"{phase_label}: {', '.join(query.aliases)}")
+    metrics = JobMetrics()
+    with tracer.phase(phase_label):
+        data, job_metrics = session.executor.execute(
+            job, query.parameters, session.statistics.copy(), tracer=tracer
+        )
+        metrics.merge(job_metrics)
+        tracer.sync(metrics.total_seconds)
     return ExecutionResult(
         rows=data.all_rows(),
         metrics=metrics,
         plan_description=tree.describe(),
-        phases=[label or "single-job"],
+        phases=[phase_label],
+        trace=tracer.finish(),
     )

@@ -64,15 +64,28 @@ class PilotRunOptimizer(DynamicOptimizer):
         self.sample_limit = sample_limit
 
     def prepare_statistics(
-        self, query: Query, session, metrics: JobMetrics, phases: list[str]
+        self,
+        query: Query,
+        session,
+        metrics: JobMetrics,
+        phases: list[str],
+        tracer=None,
     ) -> StatisticsCatalog:
         working = session.statistics.copy()
         context = EvaluationContext(query.parameters, session.udfs)
         for table in query.tables:
             entry, scanned = self._pilot_entry(query, table.alias, session, context)
             working.register(entry)
-            self._charge_pilot(session, table, scanned, len(entry.fields), metrics)
-            phases.append(f"pilot:{table.alias}")
+            phase_name = f"pilot:{table.alias}"
+            if tracer is None:
+                self._charge_pilot(session, table, scanned, len(entry.fields), metrics)
+            else:
+                with tracer.phase(phase_name):
+                    self._charge_pilot(
+                        session, table, scanned, len(entry.fields), metrics
+                    )
+                    tracer.sync(metrics.total_seconds)
+            phases.append(phase_name)
         return working
 
     # -- pilot execution ----------------------------------------------------------

@@ -121,6 +121,25 @@ class Session:
         finally:
             self.reset_intermediates()
 
+    def explain_analyze(
+        self, query: Query, optimizer: str = "dynamic", **options
+    ) -> str:
+        """Execute ``query`` and render its trace as a plan-with-actuals report.
+
+        Every execution records a :class:`repro.obs.QueryTrace` (hierarchical
+        phase/operator spans plus estimated-vs-actual cardinalities per
+        re-optimization point); this convenience runs the query, renders the
+        report, and cleans up intermediates — the EXPLAIN ANALYZE of the
+        simulated engine.
+        """
+        from repro.optimizers import make_optimizer
+
+        strategy = make_optimizer(optimizer, **options)
+        try:
+            return strategy.execute(query, self).explain_analyze()
+        finally:
+            self.reset_intermediates()
+
     # -- introspection --------------------------------------------------------
 
     def dataset_rows(self, name: str) -> int:

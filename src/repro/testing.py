@@ -129,6 +129,13 @@ def rows_equal_unordered(left: list[dict], right: list[dict]) -> bool:
     """Multiset comparison of result rows (optimizers may order differently)."""
 
     def canon(rows):
-        return sorted(tuple(sorted(row.items(), key=lambda kv: kv[0])) for row in rows)
+        # Sort via _key's total order: comparing raw values across rows
+        # raises TypeError on mixed types (None next to an int, say), and a
+        # NULLable column yields exactly that mix. Equality still compares
+        # the actual values, so 1 and "1" remain distinct rows.
+        return sorted(
+            (tuple(sorted(row.items(), key=lambda kv: kv[0])) for row in rows),
+            key=lambda items: tuple((name,) + _key(value) for name, value in items),
+        )
 
     return canon(left) == canon(right)

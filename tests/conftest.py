@@ -5,8 +5,15 @@ from __future__ import annotations
 import random
 
 import pytest
+from hypothesis import settings
 
 from repro.cluster.config import ClusterConfig
+
+# Property-test budgets: CI runs a capped profile (select it with
+# `pytest --hypothesis-profile=ci`); the default stays at hypothesis's
+# stock example count for local runs.
+settings.register_profile("ci", max_examples=25, deadline=None)
+settings.register_profile("thorough", max_examples=500)
 from repro.common.types import DataType, Schema
 from repro.lang.builder import QueryBuilder
 from repro.session import Session

@@ -93,3 +93,18 @@ class TestRowsEqualUnordered:
 
     def test_value_differences_detected(self):
         assert not rows_equal_unordered([{"a": 1}], [{"a": 2}])
+
+    def test_mixed_type_values_sortable(self):
+        # Regression: a NULLable column puts None next to ints across rows;
+        # the canonical sort used to compare the raw values and raise
+        # TypeError ("'<' not supported between instances of 'NoneType' and
+        # 'int'"). The comparison must instead succeed and stay order-free.
+        left = [{"a": None, "b": 1}, {"a": 3, "b": 1}, {"a": "x", "b": 1}]
+        right = [{"a": "x", "b": 1}, {"a": None, "b": 1}, {"a": 3, "b": 1}]
+        assert rows_equal_unordered(left, right)
+        assert not rows_equal_unordered(left, right[:2])
+
+    def test_mixed_types_not_conflated(self):
+        # The sort key maps values through a total order, but equality still
+        # uses the actual values: 1 and "1" are different rows.
+        assert not rows_equal_unordered([{"a": 1}], [{"a": "1"}])
