@@ -29,6 +29,12 @@ from repro.bench.table1 import (
     format_rows,
     improvement_rows,
 )
+from repro.bench.throughput import (
+    ThroughputReport,
+    format_throughput,
+    run_throughput,
+    throughput_queries,
+)
 
 __all__ = [
     "COMPARISON_OPTIMIZERS",
@@ -39,6 +45,7 @@ __all__ = [
     "PlanEntry",
     "QUERIES",
     "SCALE_FACTORS",
+    "ThroughputReport",
     "clear_cache",
     "comparison_row",
     "figure6",
@@ -48,10 +55,13 @@ __all__ = [
     "format_matrix",
     "format_reports",
     "format_rows",
+    "format_throughput",
     "improvement_rows",
     "overhead_report",
     "plan_matrix",
     "run_query",
+    "run_throughput",
+    "throughput_queries",
     "workbench",
     "workbench_for_query",
 ]

@@ -17,9 +17,10 @@ from repro.bench import (
     plans,
     runner,
     table1,
+    throughput,
 )
 
-EXPERIMENTS = ("fig6", "fig7", "fig8", "table1", "plans", "qerror")
+EXPERIMENTS = ("fig6", "fig7", "fig8", "table1", "plans", "qerror", "throughput")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -41,6 +42,11 @@ def main(argv: list[str] | None = None) -> int:
         help="restrict to these scale factors (repeatable)",
     )
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny fast configuration (used by CI to exercise the code paths)",
+    )
     args = parser.parse_args(argv)
     unknown = [e for e in args.experiments if e not in EXPERIMENTS]
     if unknown:
@@ -73,6 +79,15 @@ def main(argv: list[str] | None = None) -> int:
         print("=== Estimate accuracy: Q-error per optimizer at the final stage ===")
         qerror_sfs = tuple(args.sf) if args.sf else (10,)
         print(runner.format_qerror(runner.qerror_rows(qerror_sfs, seed=args.seed)))
+        print()
+    if "throughput" in chosen:
+        print("=== Multi-query throughput: scheduler vs one-at-a-time ===")
+        throughput_sf = (tuple(args.sf) if args.sf else (10,))[0]
+        query_count = 2 if args.smoke else 4
+        report = throughput.run_throughput(
+            scale_factor=throughput_sf, query_count=query_count, seed=args.seed
+        )
+        print(throughput.format_throughput(report))
         print()
     if "plans" in chosen:
         print("=== Appendix: plans generated per optimizer (Figures 11-23) ===")

@@ -1,0 +1,185 @@
+"""Multi-query throughput: the scheduler experiment.
+
+The paper's experiments run one query at a time; a production cluster serves
+many. This experiment submits a batch of parameterized TPC-H join queries —
+every variant carries a multi-predicate filter on ``orders`` (and every
+other variant one on ``lineitem`` too), so their push-down jobs scan the
+same base datasets — and compares:
+
+- **serial**: each query executed to completion before the next starts (the
+  paper's regime; total time is the sum of solo runs);
+- **concurrent**: all queries submitted to one :class:`JobScheduler`, which
+  interleaves their re-optimization stages and merges same-dataset pushdown
+  scans into shared jobs.
+
+Per-query answers are identical in both modes; the win is cluster-level:
+fewer jobs and lower total simulated seconds, at the price of per-query
+queueing delay, which the report also tabulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.scheduler import JobScheduler, SchedulerConfig
+from repro.lang.ast import Query
+from repro.lang.builder import QueryBuilder
+from repro.optimizers import make_optimizer
+
+from repro.bench.runner import workbench
+
+
+def throughput_queries(count: int = 4) -> list[tuple[str, Query]]:
+    """``count`` parameterized variants of an orders/customer/lineitem join.
+
+    Variant ``i`` selects a shifted one-year order-date window (plus the
+    finished-status predicate), making ``orders`` a push-down candidate in
+    every variant; odd variants also filter ``lineitem`` on a quantity
+    band, adding a second shareable scan.
+    """
+    variants = []
+    for i in range(count):
+        low = (i % 5) * 365
+        builder = (
+            QueryBuilder()
+            .select("c.c_name", "o.o_totalprice", "l.l_extendedprice")
+            .from_table("lineitem", "l")
+            .from_table("orders", "o")
+            .from_table("customer", "c")
+            .join("l.l_orderkey", "o.o_orderkey")
+            .join("o.o_custkey", "c.c_custkey")
+            .where_between("o.o_orderdate", low, low + 364)
+            .where_eq("o.o_orderstatus", "F")
+        )
+        if i % 2 == 1:
+            builder = builder.where_between("l.l_quantity", 1, 25 + i)
+        variants.append((f"T{i + 1}", builder.build()))
+    return variants
+
+
+@dataclass(frozen=True)
+class QueryLine:
+    """One query's outcome in one execution mode."""
+
+    label: str
+    rows: int
+    seconds: float
+    queue_delay_seconds: float
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Serial-vs-concurrent cluster accounting for one query batch."""
+
+    scale_factor: int
+    serial_seconds: float
+    serial_jobs: int
+    concurrent_seconds: float
+    concurrent_jobs: int
+    scans_saved: int
+    serial_lines: list[QueryLine]
+    concurrent_lines: list[QueryLine]
+    timeline_render: str
+
+    @property
+    def seconds_saved(self) -> float:
+        return self.serial_seconds - self.concurrent_seconds
+
+    @property
+    def jobs_saved(self) -> int:
+        return self.serial_jobs - self.concurrent_jobs
+
+
+def run_throughput(
+    scale_factor: int = 10,
+    query_count: int = 4,
+    max_concurrent: int = 4,
+    seed: int = 42,
+) -> ThroughputReport:
+    """Run the batch serially and concurrently on the same loaded session."""
+    bench = workbench("tpch", scale_factor, seed)
+    session = bench.session
+    queries = throughput_queries(query_count)
+
+    serial_lines = []
+    serial_seconds = 0.0
+    serial_jobs = 0
+    try:
+        for label, query in queries:
+            result = session.execute(query)
+            serial_lines.append(
+                QueryLine(label, len(result.rows), result.seconds, 0.0)
+            )
+            serial_seconds += result.seconds
+            serial_jobs += result.metrics.jobs
+    finally:
+        session.reset_intermediates()
+
+    scheduler = JobScheduler(
+        session.executor, SchedulerConfig(max_concurrent_queries=max_concurrent)
+    )
+    try:
+        handles = [
+            scheduler.submit(query, make_optimizer("dynamic"), session, label=label)
+            for label, query in queries
+        ]
+        scheduler.run_all()
+        concurrent_lines = []
+        for handle in handles:
+            result = handle.result()
+            concurrent_lines.append(
+                QueryLine(
+                    handle.label,
+                    len(result.rows),
+                    result.seconds,
+                    result.schedule.queue_delay_seconds,
+                )
+            )
+    finally:
+        session.reset_intermediates()
+
+    for serial, concurrent in zip(serial_lines, concurrent_lines):
+        if serial.rows != concurrent.rows:
+            raise AssertionError(
+                f"{serial.label}: concurrent run changed the answer "
+                f"({serial.rows} rows serial, {concurrent.rows} concurrent)"
+            )
+
+    return ThroughputReport(
+        scale_factor=scale_factor,
+        serial_seconds=serial_seconds,
+        serial_jobs=serial_jobs,
+        concurrent_seconds=scheduler.timeline.makespan_seconds,
+        concurrent_jobs=scheduler.cluster_jobs,
+        scans_saved=scheduler.scans_saved,
+        serial_lines=serial_lines,
+        concurrent_lines=concurrent_lines,
+        timeline_render=scheduler.timeline.render(),
+    )
+
+
+def format_throughput(report: ThroughputReport) -> str:
+    """Render the serial-vs-concurrent comparison plus the shared timeline."""
+    lines = [
+        f"multi-query throughput @ SF {report.scale_factor} "
+        f"({len(report.serial_lines)} concurrent TPC-H variants)",
+        f"  {'mode':12s} {'cluster s':>10s} {'jobs':>6s} {'scans saved':>12s}",
+        f"  {'serial':12s} {report.serial_seconds:10.2f} {report.serial_jobs:6d}"
+        f" {0:12d}",
+        f"  {'concurrent':12s} {report.concurrent_seconds:10.2f}"
+        f" {report.concurrent_jobs:6d} {report.scans_saved:12d}",
+        f"  saved: {report.seconds_saved:.2f} simulated seconds,"
+        f" {report.jobs_saved} cluster jobs",
+        "",
+        f"  {'query':6s} {'rows':>6s} {'own s':>10s} {'queue-delay s':>14s}",
+    ]
+    for line in report.concurrent_lines:
+        lines.append(
+            f"  {line.label:6s} {line.rows:6d} {line.seconds:10.2f}"
+            f" {line.queue_delay_seconds:14.2f}"
+        )
+    lines.append("")
+    lines.append("  shared cluster timeline (concurrent mode):")
+    for row in report.timeline_render.splitlines():
+        lines.append(f"  {row}")
+    return "\n".join(lines)

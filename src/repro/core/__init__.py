@@ -11,6 +11,7 @@ from repro.core.predicate_pushdown import (
     PushdownOutcome,
     execute_pushdowns,
     intermediate_name_for,
+    pushdown_stages,
 )
 from repro.core.reconstruction import reconstruct_after_join, replace_filtered_table
 
@@ -22,6 +23,7 @@ __all__ = [
     "execute_pushdowns",
     "greedy_full_plan",
     "intermediate_name_for",
+    "pushdown_stages",
     "rank_by_input_cardinality",
     "rank_by_result_cardinality",
     "reconstruct_after_join",

@@ -6,9 +6,19 @@ loop (plan cheapest join -> construct job -> materialize + online statistics
 the user. Subclasses (the INGRES-like and pilot-run baselines) override the
 ranking function and the statistics source but reuse the machinery — which
 mirrors how the paper describes those comparisons.
+
+The driver is written as *resumable stage generators*: each re-optimization
+stage ``yield``s a :class:`~repro.engine.scheduler.request.JobRequest` and
+receives the :class:`~repro.engine.scheduler.request.JobOutcome` back.
+``execute``/``resume`` pump the generator synchronously (byte-identical to
+the old blocking loop), while the
+:class:`~repro.engine.scheduler.scheduler.JobScheduler` interleaves the
+generators of concurrent queries on a shared simulated clock.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 from repro.algebra.jobgen import build_final_job, build_sink_job
 from repro.algebra.plan import JoinNode, LeafNode, PlanNode
@@ -18,9 +28,10 @@ from repro.core.planner import (
     RankFunction,
     rank_by_result_cardinality,
 )
-from repro.core.predicate_pushdown import execute_pushdowns
+from repro.core.predicate_pushdown import pushdown_stages
 from repro.core.reconstruction import reconstruct_after_join
 from repro.engine.metrics import ExecutionResult, JobMetrics
+from repro.engine.scheduler.request import JobRequest, drive_stages
 from repro.lang.ast import Query
 from repro.obs.trace import Tracer
 from repro.optimizers.base import Optimizer
@@ -84,9 +95,6 @@ def greedy_full_plan(
     return nodes[0]
 
 
-from dataclasses import dataclass, field
-
-
 @dataclass
 class DriverState:
     """Resumable execution state of one dynamic run.
@@ -110,6 +118,10 @@ class DriverState:
     #: execution tracer; checkpointed with the rest of the state so a
     #: resumed run extends the same trace instead of starting a new one
     tracer: Tracer = field(default_factory=Tracer)
+    #: intermediate-name prefix (e.g. ``__q3``) isolating this run's
+    #: materializations from concurrently scheduled queries; empty for
+    #: direct (non-scheduled) execution, keeping legacy names.
+    namespace: str = ""
 
 
 class SimulatedFailure(RuntimeError):
@@ -160,13 +172,35 @@ class DynamicOptimizer(Optimizer):
         """Statistics the run starts from: ingestion-time sketches."""
         return session.statistics.copy()
 
+    def prepare_stages(
+        self,
+        query: Query,
+        session,
+        metrics: JobMetrics,
+        phases: list[str],
+        tracer: Tracer | None = None,
+    ):
+        """Stage-generator form of :meth:`prepare_statistics`.
+
+        The base strategy charges nothing, so the generator yields no
+        requests; pilot-run overrides this with per-table sampling stages.
+        """
+        return self.prepare_statistics(query, session, metrics, phases, tracer)
+        yield  # unreachable; marks this as a generator
+
     # -- main entry -------------------------------------------------------------
 
     def execute(self, query: Query, session) -> ExecutionResult:
+        return drive_stages(self.stages(query, session), session.executor)
+
+    def stages(self, query: Query, session, namespace: str = ""):
+        """The full dynamic run as one resumable stage generator."""
         metrics = JobMetrics()
         phases: list[str] = []
         tracer = Tracer(query_label=f"{self.name}: {', '.join(query.aliases)}")
-        working = self.prepare_statistics(query, session, metrics, phases, tracer)
+        working = yield from self.prepare_stages(
+            query, session, metrics, phases, tracer
+        )
         state = DriverState(
             original=query,
             current=query,
@@ -174,11 +208,18 @@ class DynamicOptimizer(Optimizer):
             metrics=metrics,
             phases=phases,
             tracer=tracer,
+            namespace=namespace,
         )
 
         if self.pushdown_enabled:
-            outcome = execute_pushdowns(
-                state.current, session, working, metrics, phases, tracer=tracer
+            outcome = yield from pushdown_stages(
+                state.current,
+                session,
+                working,
+                metrics,
+                phases,
+                tracer=tracer,
+                namespace=namespace,
             )
             state.current = outcome.query
             for alias, name in outcome.intermediates.items():
@@ -195,8 +236,8 @@ class DynamicOptimizer(Optimizer):
         self._maybe_fail(state)
 
         if not self.reoptimize_joins:
-            return self._single_shot(query, state, session)
-        return self.resume(state, session)
+            return (yield from self._single_shot_stages(query, state, session))
+        return (yield from self.resume_stages(state, session))
 
     def resume(self, state: DriverState, session) -> ExecutionResult:
         """Continue a run from a re-optimization-point checkpoint.
@@ -206,6 +247,10 @@ class DynamicOptimizer(Optimizer):
         ran) — this is the paper's Section-8 recovery story: completed join
         stages are never repeated after a failure.
         """
+        return drive_stages(self.resume_stages(state, session), session.executor)
+
+    def resume_stages(self, state: DriverState, session):
+        """The re-optimization loop from a checkpoint, one stage per join."""
         query = state.original
         while True:
             toolkit = PlannerToolkit(
@@ -215,7 +260,7 @@ class DynamicOptimizer(Optimizer):
             if len(toolkit.join_graph()) <= 2:
                 break
             picked = planner.cheapest_join()
-            name = f"__join_{state.iteration}"
+            name = f"{state.namespace}__join_{state.iteration}"
             keep, stats_columns = self._sink_columns(state.current, toolkit, picked)
             tables_after = len(state.current.tables) - 1
             if not self.collect_online_sketches or tables_after <= 3:
@@ -230,15 +275,20 @@ class DynamicOptimizer(Optimizer):
                 session.datasets,
                 phase=f"join-{state.iteration}",
             )
-            phase_name = f"join:{'+'.join(sorted(picked.pair))}"
-            with state.tracer.phase(phase_name):
-                _, job_metrics = session.executor.execute(
-                    job, query.parameters, state.working, tracer=state.tracer
-                )
-                if not self.charge_online_stats:
-                    job_metrics.stats = 0.0
-                state.metrics.merge(job_metrics)
-                state.tracer.sync(state.metrics.total_seconds)
+            # Phase names strip the namespace so a scheduled run's phase list
+            # matches a direct run's (join:__join_0+dc either way).
+            pair = sorted(a.removeprefix(state.namespace) for a in picked.pair)
+            phase_name = f"join:{'+'.join(pair)}"
+            yield JobRequest(
+                phase=phase_name,
+                cumulative=state.metrics,
+                job=job,
+                parameters=query.parameters,
+                statistics=state.working,
+                tracer=state.tracer,
+                refund_stats=not self.charge_online_stats,
+                kind="join",
+            )
             state.phases.append(phase_name)
             state.registry[name] = resolve_logical(picked.node, state.registry)
             state.current = reconstruct_after_join(
@@ -252,19 +302,21 @@ class DynamicOptimizer(Optimizer):
         )
         plan = Planner(toolkit, self.rank).final_plan()
         job = build_final_job(plan, state.current, session.datasets)
-        with state.tracer.phase("final"):
-            data, job_metrics = session.executor.execute(
-                job, query.parameters, state.working, tracer=state.tracer
-            )
-            if not self.charge_online_stats:
-                job_metrics.stats = 0.0
-            state.metrics.merge(job_metrics)
-            state.tracer.sync(state.metrics.total_seconds)
+        outcome = yield JobRequest(
+            phase="final",
+            cumulative=state.metrics,
+            job=job,
+            parameters=query.parameters,
+            statistics=state.working,
+            tracer=state.tracer,
+            refund_stats=not self.charge_online_stats,
+            kind="final",
+        )
         state.phases.append("final")
 
         self.last_tree = resolve_logical(plan, state.registry)
         return ExecutionResult(
-            rows=data.all_rows(),
+            rows=outcome.data.all_rows(),
             metrics=state.metrics,
             plan_description=self.last_tree.describe(),
             phases=state.phases,
@@ -308,24 +360,25 @@ class DynamicOptimizer(Optimizer):
         stats_columns = tuple(sorted(pair_columns & future_join_columns))
         return keep, stats_columns
 
-    def _single_shot(
-        self, original: Query, state: DriverState, session
-    ) -> ExecutionResult:
+    def _single_shot_stages(self, original: Query, state: DriverState, session):
         """Push-down-only mode: one job for all joins, planned greedily."""
         plan = greedy_full_plan(
             state.current, session, state.working, self.inl_enabled
         )
         job = build_final_job(plan, state.current, session.datasets)
-        with state.tracer.phase("single-shot"):
-            data, job_metrics = session.executor.execute(
-                job, original.parameters, state.working, tracer=state.tracer
-            )
-            state.metrics.merge(job_metrics)
-            state.tracer.sync(state.metrics.total_seconds)
+        outcome = yield JobRequest(
+            phase="single-shot",
+            cumulative=state.metrics,
+            job=job,
+            parameters=original.parameters,
+            statistics=state.working,
+            tracer=state.tracer,
+            kind="final",
+        )
         state.phases.append("single-shot")
         self.last_tree = resolve_logical(plan, state.registry)
         return ExecutionResult(
-            rows=data.all_rows(),
+            rows=outcome.data.all_rows(),
             metrics=state.metrics,
             plan_description=self.last_tree.describe(),
             phases=state.phases,

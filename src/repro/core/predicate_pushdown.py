@@ -5,6 +5,13 @@ parameterized) predicate are wrapped in single-variable select-project
 queries and executed *first*. Each produces a materialized post-predicate
 dataset plus exact statistics, and the main query is rewritten to reference
 the materialization (Section 5.1's Q1 -> Q1').
+
+Push-down jobs are independent of each other, so :func:`pushdown_stages`
+yields them as one *group* of :class:`JobRequest`s tagged with the base
+dataset they scan (``batch_key``). The synchronous pump runs them in order
+(the pre-scheduler behavior); the job scheduler may merge same-dataset scans
+— from this query or a concurrently admitted one — into a single cluster
+job whose scan cost is shared.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from repro.algebra.jobgen import build_pushdown_job
 from repro.algebra.rules.pushdown import pushdown_candidates
 from repro.core.reconstruction import replace_filtered_table
 from repro.engine.metrics import JobMetrics
+from repro.engine.scheduler.request import JobRequest, drive_stages
 from repro.lang.ast import Query
 from repro.lang.binding import ColumnResolver
 from repro.obs.trace import Tracer
@@ -31,8 +39,8 @@ class PushdownOutcome:
     intermediates: dict[str, str]  # alias -> intermediate dataset name
 
 
-def intermediate_name_for(alias: str) -> str:
-    return f"__filtered_{alias}"
+def intermediate_name_for(alias: str, namespace: str = "") -> str:
+    return f"{namespace}__filtered_{alias}"
 
 
 def join_columns_of(query: Query) -> set[str]:
@@ -43,32 +51,32 @@ def join_columns_of(query: Query) -> set[str]:
     return columns
 
 
-def execute_pushdowns(
+def pushdown_stages(
     query: Query,
     session,
     working_statistics: StatisticsCatalog,
     metrics: JobMetrics,
     phases: list[str],
     tracer: Tracer | None = None,
-) -> PushdownOutcome:
-    """Run every qualifying single-variable query; return the rewritten query.
+    namespace: str = "",
+):
+    """Yield every qualifying single-variable query as one request group.
 
     Statistics for the filtered datasets are registered into
     ``working_statistics`` under the intermediate's name (the paper "updates
     the statistics attached to the base unfiltered datasets to depict the new
     cardinalities" — here the rewrite points the alias at the new entry).
+    Returns the :class:`PushdownOutcome` with the rewritten query.
     """
     resolver = ColumnResolver(query, session.datasets.schema_lookup)
     columns_of_alias = {alias: resolver.columns_of(alias) for alias in query.aliases}
     candidates = pushdown_candidates(query, columns_of_alias)
-
-    current = query
-    executed = []
-    intermediates: dict[str, str] = {}
     join_columns = join_columns_of(query)
+
+    requests = []
     for candidate in candidates:
         alias = candidate.table.alias
-        name = intermediate_name_for(alias)
+        name = intermediate_name_for(alias, namespace)
         stats_columns = tuple(
             c for c in candidate.keep_columns if c in join_columns
         )
@@ -79,32 +87,56 @@ def execute_pushdowns(
             name,
             stats_columns,
         )
-        phase_name = f"pushdown:{alias}"
-        if tracer is None:
-            _, job_metrics = session.executor.execute(
-                job, query.parameters, working_statistics
-            )
-            metrics.merge(job_metrics)
-        else:
+        estimate = None
+        if tracer is not None:
             # Push-downs are re-optimization points: record the estimate the
             # static statistics would have produced against the measured
             # post-predicate cardinality (all in modeled full-scale rows).
             base_stats = working_statistics.get(candidate.table.dataset)
-            estimated = (
+            estimate = (
+                f"σ({alias})",
                 filtered_cardinality(base_stats, candidate.predicates)
-                * base_stats.scale
+                * base_stats.scale,
             )
-            with tracer.phase(phase_name):
-                data, job_metrics = session.executor.execute(
-                    job, query.parameters, working_statistics, tracer=tracer
-                )
-                metrics.merge(job_metrics)
-                tracer.sync(metrics.total_seconds)
-            tracer.record_estimate(
-                phase_name, f"σ({alias})", estimated, data.modeled_rows
+        requests.append(
+            JobRequest(
+                phase=f"pushdown:{alias}",
+                cumulative=metrics,
+                job=job,
+                parameters=query.parameters,
+                statistics=working_statistics,
+                tracer=tracer,
+                estimate=estimate,
+                batch_key=candidate.table.dataset,
+                kind="pushdown",
             )
-        phases.append(phase_name)
+        )
+    if requests:
+        yield requests
+
+    current = query
+    executed = []
+    intermediates: dict[str, str] = {}
+    for candidate in candidates:
+        alias = candidate.table.alias
+        name = intermediate_name_for(alias, namespace)
+        phases.append(f"pushdown:{alias}")
         current = replace_filtered_table(current, alias, name)
         executed.append(alias)
         intermediates[alias] = name
     return PushdownOutcome(current, executed, intermediates)
+
+
+def execute_pushdowns(
+    query: Query,
+    session,
+    working_statistics: StatisticsCatalog,
+    metrics: JobMetrics,
+    phases: list[str],
+    tracer: Tracer | None = None,
+) -> PushdownOutcome:
+    """Run every qualifying push-down immediately; return the rewritten query."""
+    stages = pushdown_stages(
+        query, session, working_statistics, metrics, phases, tracer=tracer
+    )
+    return drive_stages(stages, session.executor)

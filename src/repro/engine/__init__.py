@@ -4,5 +4,25 @@ from repro.engine.data import PartitionedData
 from repro.engine.executor import Executor
 from repro.engine.job import Job
 from repro.engine.metrics import ExecutionResult, JobMetrics
+from repro.engine.scheduler import (
+    JobOutcome,
+    JobRequest,
+    JobScheduler,
+    QueryHandle,
+    ScheduleInfo,
+    SchedulerConfig,
+)
 
-__all__ = ["ExecutionResult", "Executor", "Job", "JobMetrics", "PartitionedData"]
+__all__ = [
+    "ExecutionResult",
+    "Executor",
+    "Job",
+    "JobMetrics",
+    "JobOutcome",
+    "JobRequest",
+    "JobScheduler",
+    "PartitionedData",
+    "QueryHandle",
+    "ScheduleInfo",
+    "SchedulerConfig",
+]

@@ -89,6 +89,11 @@ class ExecutionResult:
     #: plus estimated-vs-actual cardinality records; None only for results
     #: assembled outside the traced execution paths.
     trace: object | None = None
+    #: scheduling record (repro.engine.scheduler.ScheduleInfo) when the query
+    #: ran through a JobScheduler: admission/finish instants on the shared
+    #: cluster clock and the queueing delay charged under saturation. None
+    #: for direct (unscheduled) execution; never affects ``metrics``.
+    schedule: object | None = None
 
     @property
     def seconds(self) -> float:

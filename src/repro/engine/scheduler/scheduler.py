@@ -1,0 +1,393 @@
+"""The job scheduler: concurrent query admission on the simulated cluster.
+
+The paper frames every re-optimization stage as an independently submitted
+Hyracks job; this module exploits exactly that seam. Drivers are resumable
+stage generators (``yield JobRequest → receive JobOutcome``); the scheduler
+parks each admitted query at its pending request and interleaves requests of
+different queries on one shared simulated clock:
+
+- **Admission.** At most ``max_concurrent_queries`` queries run at once;
+  the rest wait in a priority/FIFO admission queue and are charged the wait.
+- **One job at a time.** Jobs use every partition of the simulated cluster,
+  so the cluster timeline is a sequence of job intervals; fairness comes
+  from interleaving *stages*, picking the admitted query that has waited
+  longest (priority first).
+- **Queueing delay.** Whenever a query's next job is ready but the cluster
+  is busy with someone else's job (or the query is waiting for admission),
+  the gap is charged to that query's schedule record — never to its
+  :class:`~repro.engine.metrics.JobMetrics`, which stay byte-identical to a
+  solo run. A solo query therefore accrues zero delay: delay only appears
+  under saturation.
+- **Pushdown scan batching.** Pending pushdown requests (same or different
+  queries) that scan the same base dataset merge into one cluster job: the
+  base scan and job launch are charged once and split evenly across the
+  branches, while each branch keeps its own select/sink work, intermediate,
+  statistics catalog and trace. This is what makes a concurrent
+  multi-predicate workload cheaper than the sum of its solo runs.
+
+Per-query results are the ordinary :class:`ExecutionResult`; the scheduler
+annotates each with a :class:`ScheduleInfo` and records every cluster job in
+a :class:`~repro.obs.timeline.ClusterTimeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.common.errors import ReproError
+from repro.engine.metrics import ExecutionResult
+from repro.engine.scheduler.request import JobOutcome, JobRequest, run_request
+from repro.obs.timeline import ClusterTimeline, TimelineEvent
+
+if TYPE_CHECKING:
+    from repro.engine.executor import Executor
+    from repro.lang.ast import Query
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Admission and batching policy of one scheduler instance."""
+
+    #: queries allowed past admission at once; submissions beyond this wait.
+    max_concurrent_queries: int = 4
+    #: merge pending pushdown scans over the same base dataset into one job.
+    batch_pushdown_scans: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent_queries < 1:
+            raise ReproError("scheduler needs at least one admission slot")
+
+
+@dataclass(frozen=True)
+class ScheduleInfo:
+    """How one query fared on the shared cluster timeline."""
+
+    query_id: int
+    priority: int
+    submitted_at: float
+    admitted_at: float
+    finished_at: float
+    #: simulated seconds spent waiting (admission queue + cluster busy with
+    #: other queries' jobs); zero when the query had the cluster to itself.
+    queue_delay_seconds: float
+    #: the query's own charged work (== its metrics.total_seconds).
+    busy_seconds: float
+
+    @property
+    def latency_seconds(self) -> float:
+        """Submission-to-completion time on the shared clock."""
+        return self.finished_at - self.submitted_at
+
+
+class QueryHandle:
+    """One submitted query's lifecycle: queued → running → done/failed."""
+
+    def __init__(
+        self,
+        query_id: int,
+        query: "Query",
+        strategy,
+        session,
+        priority: int,
+        label: str,
+        submitted_at: float,
+        submit_index: int,
+    ) -> None:
+        self.query_id = query_id
+        self.query = query
+        self.strategy = strategy
+        self.session = session
+        self.priority = priority
+        self.label = label or f"q{query_id}"
+        self.status = "queued"
+        self.submitted_at = submitted_at
+        self.submit_index = submit_index
+        self.admitted_at: float | None = None
+        self.finished_at: float | None = None
+        self.queue_delay_seconds = 0.0
+        #: shared-clock instant since which the query's next work is ready
+        self.ready_since = submitted_at
+        self._generator = None
+        self._group = False
+        self._requests: list[JobRequest] = []
+        self._outcomes: list[JobOutcome | None] = []
+        self._cursor = 0
+        self._result: ExecutionResult | None = None
+        self._error: BaseException | None = None
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.status == "done"
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
+
+    @property
+    def error(self) -> BaseException | None:
+        return self._error
+
+    def result(self) -> ExecutionResult:
+        """The finished result; re-raises the query's error if it failed."""
+        if self._error is not None:
+            raise self._error
+        if self._result is None:
+            raise ReproError(
+                f"query {self.label!r} has not finished; call run_all() first"
+            )
+        return self._result
+
+    # -- scheduler internals --------------------------------------------------
+
+    def _pending_request(self) -> JobRequest:
+        return self._requests[self._cursor]
+
+    def _has_pending(self) -> bool:
+        return self._cursor < len(self._requests)
+
+    def _record_outcome(self, index: int, outcome: JobOutcome) -> None:
+        self._outcomes[index] = outcome
+        while self._cursor < len(self._outcomes) and self._outcomes[self._cursor]:
+            self._cursor += 1
+
+    def _payload(self):
+        outcomes = self._outcomes
+        return outcomes if self._group else outcomes[0]
+
+
+class JobScheduler:
+    """Admission + interleaving + batching over one simulated cluster."""
+
+    def __init__(self, executor: "Executor", config: SchedulerConfig | None = None) -> None:
+        self.executor = executor
+        self.config = config or SchedulerConfig()
+        #: the shared simulated clock (end of the last completed job)
+        self.now = 0.0
+        #: cluster jobs actually launched (merged scans count once)
+        self.cluster_jobs = 0
+        #: base-dataset scans avoided by merging pushdown jobs
+        self.scans_saved = 0
+        self.timeline = ClusterTimeline()
+        self._waiting: list[QueryHandle] = []
+        self._running: list[QueryHandle] = []
+        self._next_id = 1
+        self._submit_index = 0
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(
+        self,
+        query: "Query",
+        strategy,
+        session,
+        priority: int = 0,
+        label: str = "",
+    ) -> QueryHandle:
+        """Queue one described query (strategy + priority) for execution.
+
+        Nothing runs until :meth:`run_all`; higher ``priority`` is admitted
+        and serviced first, FIFO within a priority level.
+        """
+        handle = QueryHandle(
+            query_id=self._next_id,
+            query=query,
+            strategy=strategy,
+            session=session,
+            priority=priority,
+            label=label,
+            submitted_at=self.now,
+            submit_index=self._submit_index,
+        )
+        self._next_id += 1
+        self._submit_index += 1
+        self._waiting.append(handle)
+        return handle
+
+    # -- the event loop -------------------------------------------------------
+
+    def run_all(self) -> list[QueryHandle]:
+        """Drain the queue: admit, interleave, batch, until nothing is left.
+
+        A failing query (e.g. an injected ``SimulatedFailure``) is marked
+        failed on its handle — its error re-raises from ``result()`` — and
+        every other query's schedule and results proceed untouched.
+        """
+        finished: list[QueryHandle] = []
+        self._admit(finished)
+        while self._running:
+            self._step(finished)
+        return finished
+
+    def _admit(self, finished: list[QueryHandle]) -> None:
+        self._waiting.sort(key=lambda h: (-h.priority, h.submit_index))
+        while self._waiting and len(self._running) < self.config.max_concurrent_queries:
+            handle = self._waiting.pop(0)
+            handle.admitted_at = self.now
+            # Time spent waiting for an admission slot is queueing delay too.
+            handle.queue_delay_seconds += self.now - handle.submitted_at
+            handle.status = "running"
+            handle._generator = handle.strategy.stages(
+                handle.query, handle.session, namespace=f"__q{handle.query_id}"
+            )
+            self._advance(handle, first=True)
+            if handle.status == "running":
+                self._running.append(handle)
+            else:
+                finished.append(handle)
+
+    def _advance(self, handle: QueryHandle, first: bool = False) -> None:
+        """Send the collected outcome(s) in; park at the next request."""
+        payload = None if first else handle._payload()
+        while True:
+            try:
+                item = handle._generator.send(payload)
+            except StopIteration as stop:
+                self._finish(handle, stop.value)
+                return
+            except BaseException as exc:  # SimulatedFailure and real bugs alike
+                self._fail(handle, exc)
+                return
+            if isinstance(item, JobRequest):
+                handle._group = False
+                handle._requests = [item]
+            else:
+                requests = list(item)
+                if not requests:
+                    payload = []  # empty group: answer immediately
+                    continue
+                handle._group = True
+                handle._requests = requests
+            handle._outcomes = [None] * len(handle._requests)
+            handle._cursor = 0
+            handle.ready_since = self.now
+            return
+
+    def _service_order(self) -> list[QueryHandle]:
+        """Priority first, then longest-waiting, then admission order."""
+        return sorted(
+            self._running,
+            key=lambda h: (-h.priority, h.ready_since, h.submit_index),
+        )
+
+    def _gather_batch(self, leader: QueryHandle) -> list[tuple[QueryHandle, int]]:
+        """The merged-scan party for the leader's pending request.
+
+        Eligible mates are consecutive same-dataset requests of the leader's
+        own group, plus every other running query's *next* pending request
+        (never out of order within a query) over the same base dataset.
+        """
+        request = leader._pending_request()
+        entries = [(leader, leader._cursor)]
+        key = request.batch_key
+        if key is None or not self.config.batch_pushdown_scans:
+            return entries
+        index = leader._cursor + 1
+        while (
+            index < len(leader._requests)
+            and leader._outcomes[index] is None
+            and leader._requests[index].batch_key == key
+        ):
+            entries.append((leader, index))
+            index += 1
+        for other in self._service_order():
+            if other is leader:
+                continue
+            mate = other._pending_request()
+            if mate.batch_key != key:
+                continue
+            entries.append((other, other._cursor))
+            index = other._cursor + 1
+            while (
+                index < len(other._requests)
+                and other._outcomes[index] is None
+                and other._requests[index].batch_key == key
+            ):
+                entries.append((other, index))
+                index += 1
+        return entries
+
+    def _step(self, finished: list[QueryHandle]) -> None:
+        leader = self._service_order()[0]
+        entries = self._gather_batch(leader)
+        count = len(entries)
+        start = self.now
+
+        outcomes: list[JobOutcome] = []
+        for position, (handle, index) in enumerate(entries):
+            share = (position, count) if count > 1 else None
+            outcomes.append(
+                run_request(self.executor, handle._requests[index], share)
+            )
+        duration = sum(outcome.metrics.total_seconds for outcome in outcomes)
+
+        participants: list[QueryHandle] = []
+        delays: dict[int, float] = {}
+        for handle, _ in entries:
+            if handle not in participants:
+                participants.append(handle)
+                delay = start - handle.ready_since
+                handle.queue_delay_seconds += delay
+                if delay > 0.0:
+                    delays[handle.query_id] = delay
+        self.now = start + duration
+        self.cluster_jobs += 1
+        if count > 1:
+            self.scans_saved += count - 1
+
+        lead_request = leader._pending_request()
+        label = (
+            lead_request.phase
+            if count == 1
+            else f"scan[{lead_request.batch_key}] ×{count}"
+        )
+        self.timeline.record(
+            TimelineEvent(
+                label=label,
+                kind=lead_request.kind if count == 1 else "batched-scan",
+                start_seconds=start,
+                end_seconds=self.now,
+                queries=tuple(h.query_id for h in participants),
+                batched=count > 1,
+                queue_delays=delays,
+            )
+        )
+
+        for (handle, index), outcome in zip(entries, outcomes):
+            handle._record_outcome(index, outcome)
+        for handle in participants:
+            handle.ready_since = self.now
+            if not handle._has_pending():
+                self._advance(handle)
+                if handle.status != "running":
+                    self._running.remove(handle)
+                    finished.append(handle)
+        self._admit(finished)
+
+    # -- completion -----------------------------------------------------------
+
+    def _finish(self, handle: QueryHandle, result) -> None:
+        handle.finished_at = self.now
+        handle.status = "done"
+        handle._result = result
+        if isinstance(result, ExecutionResult):
+            result.schedule = ScheduleInfo(
+                query_id=handle.query_id,
+                priority=handle.priority,
+                submitted_at=handle.submitted_at,
+                admitted_at=(
+                    handle.admitted_at
+                    if handle.admitted_at is not None
+                    else handle.submitted_at
+                ),
+                finished_at=handle.finished_at,
+                queue_delay_seconds=handle.queue_delay_seconds,
+                busy_seconds=result.metrics.total_seconds,
+            )
+
+    def _fail(self, handle: QueryHandle, error: BaseException) -> None:
+        handle.finished_at = self.now
+        handle.status = "failed"
+        handle._error = error

@@ -21,11 +21,14 @@ from repro.obs.trace import (
     q_error,
 )
 from repro.obs.report import render_explain_analyze, qerror_stats
+from repro.obs.timeline import ClusterTimeline, TimelineEvent
 
 __all__ = [
+    "ClusterTimeline",
     "EstimateRecord",
     "QueryTrace",
     "Span",
+    "TimelineEvent",
     "Tracer",
     "q_error",
     "qerror_stats",

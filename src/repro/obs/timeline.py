@@ -1,0 +1,130 @@
+"""Shared-cluster timeline: scheduler spans on the cluster-wide clock.
+
+Per-query traces (:mod:`repro.obs.trace`) position spans on the query's
+*own* cumulative cost clock — deliberately, so a query's trace is identical
+whether it ran alone or interleaved with others. The scheduler's view is the
+complement: one :class:`TimelineEvent` per cluster job on the *shared*
+simulated clock, tagged with the queries it served, whether it was a merged
+pushdown scan, and how much queueing delay each participant had accrued
+waiting for the slot. Exportable as a Chrome/Perfetto trace with one track
+per query (queueing rendered as explicit ``wait`` events) or as an ASCII
+Gantt-style table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One cluster job (possibly serving several queries at once)."""
+
+    label: str
+    kind: str
+    start_seconds: float
+    end_seconds: float
+    #: query ids whose work this event carried (len > 1 for merged scans)
+    queries: tuple[int, ...]
+    batched: bool = False
+    #: queue delay charged to each participant at this event's start
+    #: (time between the query's request becoming ready and this start).
+    queue_delays: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def duration_seconds(self) -> float:
+        return max(0.0, self.end_seconds - self.start_seconds)
+
+
+@dataclass
+class ClusterTimeline:
+    """Append-only record of every job the scheduler ran."""
+
+    events: list[TimelineEvent] = field(default_factory=list)
+
+    def record(self, event: TimelineEvent) -> None:
+        self.events.append(event)
+
+    # -- aggregate views ------------------------------------------------------
+
+    @property
+    def makespan_seconds(self) -> float:
+        """End of the last job — total busy time of the one-job-at-a-time
+        cluster (the clock never idles while work is pending)."""
+        return self.events[-1].end_seconds if self.events else 0.0
+
+    @property
+    def job_count(self) -> int:
+        return len(self.events)
+
+    @property
+    def batched_job_count(self) -> int:
+        return sum(1 for event in self.events if event.batched)
+
+    def queue_delay_of(self, query_id: int) -> float:
+        return sum(e.queue_delays.get(query_id, 0.0) for e in self.events)
+
+    def events_for(self, query_id: int) -> list[TimelineEvent]:
+        return [e for e in self.events if query_id in e.queries]
+
+    # -- export ---------------------------------------------------------------
+
+    def to_chrome_trace(self) -> str:
+        """Chrome ``chrome://tracing`` / Perfetto JSON on the shared clock.
+
+        One ``tid`` per query; merged scans emit one event per participant
+        so each query's track shows its share, and queueing shows up as
+        explicit ``wait`` events preceding the job they delayed.
+        """
+        import json
+
+        trace_events = []
+        for event in self.events:
+            for query_id in event.queries:
+                delay = event.queue_delays.get(query_id, 0.0)
+                if delay > 0.0:
+                    trace_events.append(
+                        {
+                            "name": "wait",
+                            "cat": "queue",
+                            "ph": "X",
+                            "ts": (event.start_seconds - delay) * 1e6,
+                            "dur": delay * 1e6,
+                            "pid": 1,
+                            "tid": query_id,
+                            "args": {"for": event.label},
+                        }
+                    )
+                trace_events.append(
+                    {
+                        "name": event.label,
+                        "cat": event.kind,
+                        "ph": "X",
+                        "ts": event.start_seconds * 1e6,
+                        "dur": event.duration_seconds * 1e6,
+                        "pid": 1,
+                        "tid": query_id,
+                        "args": {
+                            "kind": event.kind,
+                            "batched": event.batched,
+                            "queries": list(event.queries),
+                        },
+                    }
+                )
+        return json.dumps({"traceEvents": trace_events, "displayTimeUnit": "ms"})
+
+    def render(self) -> str:
+        """ASCII table of the shared timeline (one row per cluster job)."""
+        lines = [
+            f"{'start':>10s} {'end':>10s} {'queries':12s} {'kind':13s} label"
+        ]
+        for event in self.events:
+            queries = "+".join(f"q{qid}" for qid in event.queries)
+            marker = "*" if event.batched else " "
+            lines.append(
+                f"{event.start_seconds:10.2f} {event.end_seconds:10.2f}"
+                f" {queries:12s} {event.kind:13s}{marker}{event.label}"
+            )
+        if any(event.batched for event in self.events):
+            lines.append("(* = merged scan serving several queries)")
+        return "\n".join(lines)

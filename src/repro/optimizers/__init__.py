@@ -10,7 +10,7 @@ from __future__ import annotations
 from importlib import import_module
 
 from repro.common.errors import OptimizationError
-from repro.optimizers.base import Optimizer, execute_tree
+from repro.optimizers.base import Optimizer, execute_tree, single_job_stages
 
 #: name -> (module, class) for every registered strategy
 OPTIMIZERS = {
@@ -69,5 +69,6 @@ __all__ = [
     "execute_tree",
     "make_optimizer",
     "optimizer_class",
+    "single_job_stages",
     *sorted(_LAZY_EXPORTS),
 ]

@@ -1,9 +1,14 @@
 """Optimizer interface and plan-replay helper.
 
-Every optimization strategy implements :class:`Optimizer`: it receives a
-query and a session, drives however many jobs its approach needs, and returns
-an :class:`~repro.engine.metrics.ExecutionResult` whose metrics cover the
-whole execution (including any overhead jobs the strategy ran).
+Every optimization strategy implements :class:`Optimizer` as a *stage
+generator*: :meth:`Optimizer.stages` plans and then ``yield``s
+:class:`~repro.engine.scheduler.request.JobRequest`s, receiving each job's
+:class:`~repro.engine.scheduler.request.JobOutcome` back, and finally
+returns an :class:`~repro.engine.metrics.ExecutionResult` whose metrics
+cover the whole execution (including any overhead jobs the strategy ran).
+:meth:`Optimizer.execute` pumps the generator synchronously on the session's
+executor; the job scheduler drives the same generator when queries run
+concurrently — one code path, two drivers.
 """
 
 from __future__ import annotations
@@ -11,6 +16,7 @@ from __future__ import annotations
 from repro.algebra.jobgen import build_final_job
 from repro.algebra.plan import PlanNode
 from repro.engine.metrics import ExecutionResult, JobMetrics
+from repro.engine.scheduler.request import JobRequest, drive_stages
 from repro.lang.ast import Query
 from repro.obs.trace import Tracer
 
@@ -22,7 +28,41 @@ class Optimizer:
     name = "base"
 
     def execute(self, query: Query, session) -> ExecutionResult:
+        """Run the strategy to completion, blocking (the serial entry)."""
+        return drive_stages(self.stages(query, session), session.executor)
+
+    def stages(self, query: Query, session, namespace: str = ""):
+        """The strategy as a resumable stage generator.
+
+        ``namespace`` prefixes any intermediate dataset names so concurrent
+        queries scheduled together cannot collide; strategies that
+        materialize nothing may ignore it.
+        """
         raise NotImplementedError
+
+
+def single_job_stages(tree: PlanNode, query: Query, session, label: str = ""):
+    """Stage generator running a fully annotated plan tree as one job."""
+    phase_label = label or "single-job"
+    job = build_final_job(tree, query, session.datasets)
+    tracer = Tracer(query_label=f"{phase_label}: {', '.join(query.aliases)}")
+    metrics = JobMetrics()
+    outcome = yield JobRequest(
+        phase=phase_label,
+        cumulative=metrics,
+        job=job,
+        parameters=query.parameters,
+        statistics=session.statistics.copy(),
+        tracer=tracer,
+        kind="single",
+    )
+    return ExecutionResult(
+        rows=outcome.data.all_rows(),
+        metrics=metrics,
+        plan_description=tree.describe(),
+        phases=[phase_label],
+        trace=tracer.finish(),
+    )
 
 
 def execute_tree(
@@ -37,20 +77,6 @@ def execute_tree(
     an estimate record per join operator, so static plans' estimate accuracy
     is directly comparable with the dynamic approach's.
     """
-    phase_label = label or "single-job"
-    job = build_final_job(tree, query, session.datasets)
-    tracer = Tracer(query_label=f"{phase_label}: {', '.join(query.aliases)}")
-    metrics = JobMetrics()
-    with tracer.phase(phase_label):
-        data, job_metrics = session.executor.execute(
-            job, query.parameters, session.statistics.copy(), tracer=tracer
-        )
-        metrics.merge(job_metrics)
-        tracer.sync(metrics.total_seconds)
-    return ExecutionResult(
-        rows=data.all_rows(),
-        metrics=metrics,
-        plan_description=tree.describe(),
-        phases=[phase_label],
-        trace=tracer.finish(),
+    return drive_stages(
+        single_job_stages(tree, query, session, label), session.executor
     )

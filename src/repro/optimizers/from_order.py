@@ -14,9 +14,8 @@ from __future__ import annotations
 
 from repro.algebra.plan import PlanNode
 from repro.common.errors import OptimizationError
-from repro.engine.metrics import ExecutionResult
 from repro.lang.ast import Query
-from repro.optimizers.base import Optimizer, execute_tree
+from repro.optimizers.base import Optimizer, single_job_stages
 from repro.algebra.toolkit import PlannerToolkit
 
 
@@ -66,10 +65,10 @@ class FromOrderOptimizer(Optimizer):
         self.force_hash = force_hash
         self.last_tree = None
 
-    def execute(self, query: Query, session) -> ExecutionResult:
+    def stages(self, query: Query, session, namespace: str = ""):
         toolkit = PlannerToolkit(
             query, session, session.statistics.copy(), self.inl_enabled
         )
         plan = from_order_plan(toolkit, force_hash=self.force_hash)
         self.last_tree = plan
-        return execute_tree(plan, query, session, label="from-order")
+        return (yield from single_job_stages(plan, query, session, label="from-order"))

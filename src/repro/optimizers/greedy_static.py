@@ -16,9 +16,8 @@ feedback; comparing it against cost_based isolates search quality.
 from __future__ import annotations
 
 from repro.core.driver import greedy_full_plan
-from repro.engine.metrics import ExecutionResult
 from repro.lang.ast import Query
-from repro.optimizers.base import Optimizer, execute_tree
+from repro.optimizers.base import Optimizer, single_job_stages
 
 
 class GreedyStaticOptimizer(Optimizer):
@@ -30,9 +29,9 @@ class GreedyStaticOptimizer(Optimizer):
         self.inl_enabled = inl_enabled
         self.last_tree = None
 
-    def execute(self, query: Query, session) -> ExecutionResult:
+    def stages(self, query: Query, session, namespace: str = ""):
         plan = greedy_full_plan(
             query, session, session.statistics.copy(), self.inl_enabled
         )
         self.last_tree = plan
-        return execute_tree(plan, query, session, label="greedy-static")
+        return (yield from single_job_stages(plan, query, session, label="greedy-static"))

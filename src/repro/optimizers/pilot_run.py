@@ -71,20 +71,42 @@ class PilotRunOptimizer(DynamicOptimizer):
         phases: list[str],
         tracer=None,
     ) -> StatisticsCatalog:
+        from repro.engine.scheduler.request import drive_stages
+
+        stages = self.prepare_stages(query, session, metrics, phases, tracer)
+        return drive_stages(stages, session.executor)
+
+    def prepare_stages(
+        self,
+        query: Query,
+        session,
+        metrics: JobMetrics,
+        phases: list[str],
+        tracer=None,
+    ):
+        """Per-table pilot sampling as virtual-cost stages.
+
+        The rows are gathered here (the sample drives the statistics), but
+        the charge is submitted as a pre-computed cost delta so a scheduler
+        can account the pilot jobs on the shared cluster clock.
+        """
+        from repro.engine.scheduler.request import JobRequest
+
         working = session.statistics.copy()
         context = EvaluationContext(query.parameters, session.udfs)
         for table in query.tables:
             entry, scanned = self._pilot_entry(query, table.alias, session, context)
             working.register(entry)
             phase_name = f"pilot:{table.alias}"
-            if tracer is None:
-                self._charge_pilot(session, table, scanned, len(entry.fields), metrics)
-            else:
-                with tracer.phase(phase_name):
-                    self._charge_pilot(
-                        session, table, scanned, len(entry.fields), metrics
-                    )
-                    tracer.sync(metrics.total_seconds)
+            yield JobRequest(
+                phase=phase_name,
+                cumulative=metrics,
+                virtual_cost=self._pilot_cost(
+                    session, table, scanned, len(entry.fields)
+                ),
+                tracer=tracer,
+                kind="pilot",
+            )
             phases.append(phase_name)
         return working
 
@@ -131,16 +153,19 @@ class PilotRunOptimizer(DynamicOptimizer):
         )
         return entry, scanned
 
-    def _charge_pilot(
-        self, session, table, scanned: int, field_count: int, metrics: JobMetrics
-    ) -> None:
+    def _pilot_cost(
+        self, session, table, scanned: int, field_count: int
+    ) -> JobMetrics:
+        """One pilot job's charge as a metrics delta (a virtual-cost job)."""
         cost = session.executor.cost
         dataset = session.datasets.get(table.dataset)
         modeled_scanned = scanned * dataset.scale
-        metrics.startup += cost.job_startup()
-        metrics.scan += cost.scan(modeled_scanned, dataset.schema.row_width)
-        metrics.compute += cost.predicate_eval(modeled_scanned)
-        metrics.stats += cost.statistics(
+        delta = JobMetrics()
+        delta.startup = cost.job_startup()
+        delta.scan = cost.scan(modeled_scanned, dataset.schema.row_width)
+        delta.compute = cost.predicate_eval(modeled_scanned)
+        delta.stats = cost.statistics(
             min(scanned, self.sample_limit) * dataset.scale, field_count
         )
-        metrics.jobs += 1
+        delta.jobs = 1
+        return delta

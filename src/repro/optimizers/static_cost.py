@@ -12,9 +12,8 @@ feedback sidesteps.
 
 from __future__ import annotations
 
-from repro.engine.metrics import ExecutionResult
 from repro.lang.ast import Query
-from repro.optimizers.base import Optimizer, execute_tree
+from repro.optimizers.base import Optimizer, single_job_stages
 from repro.algebra.toolkit import PlannerToolkit
 from repro.optimizers.enumeration import best_bushy_plan
 
@@ -31,7 +30,7 @@ class CostBasedOptimizer(Optimizer):
         self.movement_aware = movement_aware
         self.last_tree = None
 
-    def execute(self, query: Query, session) -> ExecutionResult:
+    def stages(self, query: Query, session, namespace: str = ""):
         toolkit = PlannerToolkit(
             query,
             session,
@@ -43,4 +42,4 @@ class CostBasedOptimizer(Optimizer):
         )
         plan = best_bushy_plan(toolkit, movement_aware=self.movement_aware)
         self.last_tree = plan
-        return execute_tree(plan, query, session, label="cost-based")
+        return (yield from single_job_stages(plan, query, session, label="cost-based"))

@@ -12,9 +12,8 @@ from __future__ import annotations
 
 from repro.algebra.plan import PlanNode
 from repro.common.errors import OptimizationError
-from repro.engine.metrics import ExecutionResult
 from repro.lang.ast import EvaluationContext, Query
-from repro.optimizers.base import Optimizer, execute_tree
+from repro.optimizers.base import Optimizer, single_job_stages
 from repro.algebra.toolkit import PlannerToolkit
 from repro.stats.estimation import resolve_field
 
@@ -119,7 +118,7 @@ class WorstOrderOptimizer(Optimizer):
         self.inl_enabled = inl_enabled
         self.last_tree = None
 
-    def execute(self, query: Query, session) -> ExecutionResult:
+    def stages(self, query: Query, session, namespace: str = ""):
         toolkit = PlannerToolkit(query, session, session.statistics.copy())
         order = worst_order_aliases(toolkit, session)
         current: PlanNode = toolkit.leaf(order[0])
@@ -138,4 +137,4 @@ class WorstOrderOptimizer(Optimizer):
                 build_side="left",
             )
         self.last_tree = current
-        return execute_tree(current, query, session, label="worst-order")
+        return (yield from single_job_stages(current, query, session, label="worst-order"))

@@ -9,6 +9,12 @@ the UDF registry, and the executor. Typical use::
     result = session.execute(query, optimizer="dynamic")
     print(result.seconds, result.plan_description)
 
+Concurrent execution goes through the job scheduler: :meth:`Session.submit`
+queues queries (with priorities) and :meth:`Session.run_all` drains them on
+the shared simulated cluster clock. The blocking :meth:`Session.execute` is
+the same path with a single-query schedule, so serial and concurrent
+execution cannot drift apart.
+
 Intermediates created by re-optimization points are registered into the
 session catalogs; call :meth:`Session.reset_intermediates` between
 experiment runs (the benchmark harness does this automatically).
@@ -22,6 +28,7 @@ from repro.common.errors import OptimizationError
 from repro.common.types import Schema
 from repro.engine.executor import Executor
 from repro.engine.metrics import ExecutionResult
+from repro.engine.scheduler import JobScheduler, QueryHandle, SchedulerConfig
 from repro.lang.ast import Query
 from repro.lang.udf import UdfRegistry, default_registry
 from repro.stats.catalog import StatisticsCatalog
@@ -38,6 +45,7 @@ class Session:
         cluster: ClusterConfig | None = None,
         udfs: UdfRegistry | None = None,
         cost_parameters: CostParameters | None = None,
+        scheduler_config: SchedulerConfig | None = None,
     ) -> None:
         self.cluster = cluster or default_cluster()
         self.datasets = DatasetCatalog()
@@ -50,6 +58,8 @@ class Session:
             self.udfs,
             cost_parameters,
         )
+        self.scheduler_config = scheduler_config
+        self.scheduler = JobScheduler(self.executor, scheduler_config)
 
     # -- data management ----------------------------------------------------
 
@@ -92,11 +102,57 @@ class Session:
         (stock AsterixDB: joins follow the FROM clause), ``best_order``,
         ``worst_order``, ``pilot_run``, ``ingres``. Extra keyword options are
         forwarded to the optimizer (e.g. ``inl_enabled=True``).
+
+        Runs as a single-query schedule on a private scheduler, so this is
+        the same code path as concurrent submission — just with nobody to
+        contend with (and therefore zero queue delay). Scan batching is
+        disabled here even when the query's own pushdown scans share a
+        dataset: a solo run's accounting must match a pre-scheduler run
+        exactly; the merge discount belongs to :meth:`submit`/:meth:`run_all`.
         """
+        from dataclasses import replace
+
         from repro.optimizers import make_optimizer  # late import: avoids a cycle
 
         strategy = make_optimizer(optimizer, **options)
-        return strategy.execute(query, self)
+        config = replace(
+            self.scheduler_config or SchedulerConfig(), batch_pushdown_scans=False
+        )
+        scheduler = JobScheduler(self.executor, config)
+        handle = scheduler.submit(query, strategy, self)
+        scheduler.run_all()
+        return handle.result()
+
+    def submit(
+        self,
+        query: Query,
+        optimizer: str = "dynamic",
+        priority: int = 0,
+        label: str = "",
+        **options,
+    ) -> QueryHandle:
+        """Queue ``query`` on the session's shared scheduler.
+
+        Nothing executes until :meth:`run_all`; the returned handle exposes
+        status, the queueing delay charged under saturation, and (once run)
+        the :class:`~repro.engine.metrics.ExecutionResult`. Unknown optimizer
+        names raise immediately, not at run time.
+        """
+        from repro.optimizers import make_optimizer
+
+        strategy = make_optimizer(optimizer, **options)
+        return self.scheduler.submit(
+            query, strategy, self, priority=priority, label=label
+        )
+
+    def run_all(self) -> list[QueryHandle]:
+        """Run every submitted query to completion on the shared clock."""
+        return self.scheduler.run_all()
+
+    def reset_scheduler(self) -> JobScheduler:
+        """Fresh scheduler (clock at zero); the old timeline is discarded."""
+        self.scheduler = JobScheduler(self.executor, self.scheduler_config)
+        return self.scheduler
 
     def optimizer_names(self) -> list[str]:
         from repro.optimizers import OPTIMIZERS

@@ -1,0 +1,40 @@
+"""Throughput experiment smoke tests: the scheduler must beat serial."""
+
+from repro.bench import format_throughput, run_throughput, throughput_queries
+
+
+class TestThroughput:
+    def test_concurrent_beats_serial(self):
+        report = run_throughput(scale_factor=10, query_count=2)
+        # run_throughput raises AssertionError itself if any row count
+        # differs between modes; here we check the cluster-level win.
+        assert report.scans_saved >= 1
+        assert report.jobs_saved >= 1
+        assert report.concurrent_seconds < report.serial_seconds
+        assert report.seconds_saved > 0.0
+        assert len(report.serial_lines) == len(report.concurrent_lines) == 2
+
+    def test_report_formats(self):
+        report = run_throughput(scale_factor=10, query_count=2)
+        text = format_throughput(report)
+        assert "multi-query throughput" in text
+        assert "serial" in text and "concurrent" in text
+        assert "queue-delay" in text
+        assert "T1" in text and "T2" in text
+
+    def test_query_variants_differ(self):
+        queries = throughput_queries(4)
+        assert [label for label, _ in queries] == ["T1", "T2", "T3", "T4"]
+        # Every variant filters orders; odd variants add a lineitem filter.
+        preds = [len(q.predicates) for _, q in queries]
+        assert preds == [2, 3, 2, 3]
+
+
+class TestThroughputCli:
+    def test_cli_smoke(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["throughput", "--sf", "10", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Multi-query throughput" in out
+        assert "shared cluster timeline" in out

@@ -1,0 +1,154 @@
+"""Pushdown scan batching: merged same-dataset scans cost less, change nothing.
+
+Two queries whose push-down candidates scan the same base dataset share one
+scan job per dataset: fewer cluster jobs, a shared scan/startup charge, and
+byte-identical rows. Disabling the config knob restores solo-run charges
+exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+
+import pytest
+
+from repro.engine.scheduler import JobScheduler, SchedulerConfig
+from repro.lang.builder import QueryBuilder
+from repro.optimizers import make_optimizer
+
+from tests.conftest import build_star_session, star_query
+
+
+def double_db_query():
+    """Two aliases of the same base dataset, each a push-down candidate."""
+    return (
+        QueryBuilder()
+        .select("fact.f_val", "b1.b_attr")
+        .from_table("fact")
+        .from_table("db", "b1")
+        .from_table("db", "b2")
+        .where_udf("mymod10", "b1.b_attr", "=", 1)
+        .where_udf("mymod10", "b2.b_attr", "=", 2)
+        .join("fact.f_b", "b1.b_id")
+        .join("fact.f_c", "b2.b_id")
+        .build()
+    )
+
+
+class TestCrossQueryBatching:
+    def test_fewer_scan_jobs_than_solo_runs(self):
+        solo = build_star_session().execute(star_query())
+
+        session = build_star_session()
+        handles = [session.submit(star_query()) for _ in range(2)]
+        session.run_all()
+        scheduler = session.scheduler
+        results = [h.result() for h in handles]
+
+        # The db and dc pushdown scans each merged across the two queries.
+        assert scheduler.scans_saved == 2
+        assert scheduler.cluster_jobs == 2 * solo.metrics.jobs - 2
+        assert scheduler.timeline.batched_job_count == 2
+        # Per-query job counts are unchanged — the cluster ran fewer.
+        for result in results:
+            assert result.metrics.jobs == solo.metrics.jobs
+
+    def test_rows_unchanged_and_time_saved(self):
+        solo = build_star_session().execute(star_query())
+
+        session = build_star_session()
+        handles = [session.submit(star_query()) for _ in range(2)]
+        session.run_all()
+        results = [h.result() for h in handles]
+
+        for result in results:
+            assert result.rows == solo.rows
+            assert result.plan_description == solo.plan_description
+        total = sum(r.seconds for r in results)
+        assert total < 2 * solo.seconds
+        # The shared base scans are charged once, not twice.
+        scanned = sum(r.metrics.tuples_scanned for r in results)
+        assert scanned < 2 * solo.metrics.tuples_scanned
+        # Makespan equals total charged work: the cluster never idles and
+        # every merged job's width is the sum of its branches' shares.
+        assert session.scheduler.timeline.makespan_seconds == pytest.approx(total)
+
+    def test_batching_disabled_restores_solo_charges(self):
+        solo = build_star_session().execute(star_query())
+
+        session = build_star_session()
+        scheduler = JobScheduler(
+            session.executor, SchedulerConfig(batch_pushdown_scans=False)
+        )
+        handles = [
+            scheduler.submit(star_query(), make_optimizer("dynamic"), session)
+            for _ in range(2)
+        ]
+        scheduler.run_all()
+
+        assert scheduler.scans_saved == 0
+        assert scheduler.cluster_jobs == 2 * solo.metrics.jobs
+        for handle in handles:
+            result = handle.result()
+            assert result.rows == solo.rows
+            assert asdict(result.metrics) == asdict(solo.metrics)
+
+
+class TestSameQueryBatching:
+    def test_two_aliases_of_one_dataset_share_the_scan(self):
+        query = double_db_query()
+        direct_session = build_star_session()
+        direct = make_optimizer("dynamic").execute(query, direct_session)
+
+        session = build_star_session()
+        handle = session.submit(query)
+        session.run_all()
+        scheduled = handle.result()
+
+        assert session.scheduler.scans_saved == 1
+        assert scheduled.rows == direct.rows
+        assert scheduled.plan_description == direct.plan_description
+        # The two db scans merged into one cluster job: same answer,
+        # strictly cheaper than the unbatched direct run.
+        assert scheduled.seconds < direct.seconds
+        assert scheduled.metrics.tuples_scanned < direct.metrics.tuples_scanned
+
+    def test_solo_star_query_never_batches(self):
+        # Candidates scan distinct datasets (db, dc): nothing to merge, so
+        # the scheduled run stays byte-identical to the direct one.
+        direct = make_optimizer("dynamic").execute(
+            star_query(), build_star_session()
+        )
+        scheduled = build_star_session().execute(star_query())
+        assert asdict(scheduled.metrics) == asdict(direct.metrics)
+
+    def test_solo_execute_never_batches_even_shared_datasets(self):
+        # Session.execute disables scan merging even when the query's own
+        # pushdown scans share a dataset: a solo run's accounting must match
+        # the pre-scheduler path exactly (the win belongs to submit/run_all).
+        query = double_db_query()
+        direct = make_optimizer("dynamic").execute(query, build_star_session())
+        solo = build_star_session().execute(query)
+        assert asdict(solo.metrics) == asdict(direct.metrics)
+        assert solo.rows == direct.rows
+
+
+class TestTimelineExport:
+    def test_chrome_trace_shows_waits_and_batches(self):
+        session = build_star_session()
+        for _ in range(2):
+            session.submit(star_query())
+        session.run_all()
+        timeline = session.scheduler.timeline
+
+        payload = json.loads(timeline.to_chrome_trace())
+        events = payload["traceEvents"]
+        assert any(e["name"] == "wait" for e in events)
+        assert any(e["args"].get("batched") for e in events if e["name"] != "wait")
+        tids = {e["tid"] for e in events}
+        assert tids == {1, 2}
+
+        rendered = timeline.render()
+        assert "merged scan" in rendered
+        assert "q1+q2" in rendered
