@@ -13,7 +13,7 @@ Run:  python examples/complex_predicates.py
 
 from __future__ import annotations
 
-from repro import Session
+from repro import PlannerSpec, Session
 from repro.optimizers.worst_order import true_filtered_rows
 from repro.stats.estimation import filtered_cardinality
 from repro.workloads import tpcds, tpch
@@ -62,7 +62,7 @@ def main() -> None:
     print()
     print("== execution-time consequence (TPC-H Q9 @ SF 100) ==")
     for optimizer in ("dynamic", "cost_based"):
-        result = session.execute(q9, optimizer=optimizer)
+        result = session.execute(q9, PlannerSpec.of(optimizer))
         session.reset_intermediates()
         print(f"  {optimizer:11s} {result.seconds:8.1f} simulated seconds"
               f"   plan: {result.plan_description}")

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 
-from repro import QueryBuilder, Session
+from repro import PlannerSpec, QueryBuilder, Session
 from repro.common.types import DataType, Schema
 
 
@@ -99,7 +99,7 @@ def main() -> None:
     print(f"{'optimizer':12s} {'sim seconds':>12s}  rows  plan")
     baseline = None
     for optimizer in session.optimizer_names():
-        result = session.execute(query, optimizer=optimizer)
+        result = session.execute(query, PlannerSpec.of(optimizer))
         session.reset_intermediates()
         if baseline is None:
             baseline = len(result.rows)

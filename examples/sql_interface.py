@@ -10,7 +10,7 @@ Run:  python examples/sql_interface.py
 
 from __future__ import annotations
 
-from repro import Session
+from repro import PlannerSpec, Session
 from repro.lang import parse_query
 from repro.stats import discover_correlations
 from repro.workloads import tpch
@@ -48,12 +48,12 @@ def main() -> None:
 
     print("EXPLAIN under each strategy:")
     for optimizer in ("dynamic", "cost_based", "worst_order", "ingres"):
-        plan = session.explain(query, optimizer=optimizer)
+        plan = session.explain(query, PlannerSpec.of(optimizer))
         print(f"  {optimizer:12s} {plan}")
     print()
 
     bound = parse_query(PARAMETRIC_SQL, floor=300_000.0)
-    result = session.execute(bound, optimizer="dynamic")
+    result = session.execute(bound, PlannerSpec.of("dynamic"))
     session.reset_intermediates()
     print(
         f"Parameterized query returned {len(result.rows)} rows "

@@ -5,7 +5,12 @@ Queries in Big Data Management Systems" (Pavlopoulou, Carey, Tsotras — EDBT
 Public entry points:
 
 - :class:`repro.Session` — load datasets, create indexes, execute queries
-  under any of the seven optimization strategies.
+  under any of the registered optimization strategies.
+- :class:`repro.PlannerSpec` — typed strategy selection (name + validated
+  options), accepted by every Session entry point.
+- :class:`repro.ReplanPolicy` / :class:`repro.FeedbackLog` — feedback-driven
+  re-planning: Q-error-triggered re-optimization and per-session adaptive
+  thresholds.
 - :class:`repro.QueryBuilder` — construct multi-join queries with simple,
   parameterized, and UDF predicates.
 - :mod:`repro.workloads` — TPC-H / TPC-DS style generators and the paper's
@@ -15,18 +20,28 @@ Public entry points:
 """
 
 from repro.cluster.config import ClusterConfig, default_cluster
+from repro.core.policy import FeedbackLog, PolicyDecision, ReplanPolicy
 from repro.engine.metrics import ExecutionResult, JobMetrics
 from repro.lang.builder import QueryBuilder
 from repro.lang.udf import UdfRegistry, default_registry
+from repro.obs.report import ExplainReport
+from repro.obs.trace import QueryTrace
 from repro.session import Session
+from repro.spec import PlannerSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ClusterConfig",
     "ExecutionResult",
+    "ExplainReport",
+    "FeedbackLog",
     "JobMetrics",
+    "PlannerSpec",
+    "PolicyDecision",
     "QueryBuilder",
+    "QueryTrace",
+    "ReplanPolicy",
     "Session",
     "UdfRegistry",
     "default_cluster",

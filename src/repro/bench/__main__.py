@@ -13,6 +13,7 @@ import argparse
 
 from repro.bench import (
     comparison,
+    feedback,
     overhead,
     plans,
     runner,
@@ -20,7 +21,16 @@ from repro.bench import (
     throughput,
 )
 
-EXPERIMENTS = ("fig6", "fig7", "fig8", "table1", "plans", "qerror", "throughput")
+EXPERIMENTS = (
+    "fig6",
+    "fig7",
+    "fig8",
+    "table1",
+    "plans",
+    "qerror",
+    "throughput",
+    "feedback",
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -88,6 +98,14 @@ def main(argv: list[str] | None = None) -> int:
             scale_factor=throughput_sf, query_count=query_count, seed=args.seed
         )
         print(throughput.format_throughput(report))
+        print()
+    if "feedback" in chosen:
+        print("=== Feedback-driven re-planning: fixed schedule vs ReplanPolicy ===")
+        print(
+            feedback.format_feedback(
+                feedback.run_feedback(smoke=args.smoke, seed=args.seed)
+            )
+        )
         print()
     if "plans" in chosen:
         print("=== Appendix: plans generated per optimizer (Figures 11-23) ===")

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from repro.engine.metrics import ExecutionResult
 from repro.lang.ast import Query
 from repro.session import Session
+from repro.spec import PlannerSpec
 from repro.workloads import tpcds, tpch
 
 #: the paper's evaluation queries: label -> (workload module, query factory)
@@ -102,7 +103,7 @@ def run_query(
         options["inl_enabled"] = True
     query = bench.query(label)
     try:
-        return bench.session.execute(query, optimizer=optimizer, **options)
+        return bench.session.execute(query, PlannerSpec.of(optimizer, **options))
     finally:
         bench.session.reset_intermediates()
 

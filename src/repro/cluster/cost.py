@@ -48,9 +48,18 @@ class CostParameters:
 class CostModel:
     """Accumulates simulated time for engine activity on a given cluster."""
 
-    def __init__(self, cluster: ClusterConfig, params: CostParameters | None = None) -> None:
+    def __init__(
+        self,
+        cluster: ClusterConfig,
+        params: CostParameters | None = None,
+        join_budget_bytes: float | None = None,
+    ) -> None:
         self.cluster = cluster
         self.params = params or CostParameters()
+        #: optional override of the cluster-derived join build budget —
+        #: feedback policies shrink it when observed spills show the
+        #: cluster-derived default was too optimistic.
+        self.join_budget_bytes = join_budget_bytes
 
     # Each method returns the *wall-clock* seconds the activity contributes.
 
@@ -89,8 +98,12 @@ class CostModel:
 
         Each partition may hold as much build data as one broadcast build
         (the same budget the broadcast rule checks), so the partitioned
-        build capacity is that budget times the partition count.
+        build capacity is that budget times the partition count. An
+        explicit ``join_budget_bytes`` (per-partition) takes precedence
+        over the cluster-derived default.
         """
+        if self.join_budget_bytes is not None:
+            return self.join_budget_bytes * self.cluster.partitions
         return self.cluster.broadcast_threshold_bytes * self.cluster.partitions
 
     def spill(self, build_bytes: float, probe_bytes: float) -> float:

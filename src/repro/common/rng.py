@@ -32,7 +32,10 @@ def stable_hash(value: object) -> int:
     ``PYTHONHASHSEED``.
     """
     if isinstance(value, int):
-        data = value.to_bytes(16, "big", signed=True)
+        # Size the buffer to the value: a fixed 16-byte encoding overflows
+        # on integers outside [-2^127, 2^127), which hypothesis finds.
+        length = max(16, (value.bit_length() + 8) // 8)
+        data = value.to_bytes(length, "big", signed=True)
     else:
         data = repr(value).encode()
     return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")

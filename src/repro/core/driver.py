@@ -24,11 +24,13 @@ from repro.algebra.jobgen import build_final_job, build_sink_job
 from repro.algebra.plan import JoinNode, LeafNode, PlanNode
 from repro.common.errors import OptimizationError
 from repro.core.planner import (
+    PlannedJoin,
     Planner,
     RankFunction,
     rank_by_result_cardinality,
 )
-from repro.core.predicate_pushdown import pushdown_stages
+from repro.core.policy import PolicyDecision, ReplanPolicy, RuntimeThresholds
+from repro.core.predicate_pushdown import join_columns_of, pushdown_stages
 from repro.core.reconstruction import reconstruct_after_join
 from repro.engine.metrics import ExecutionResult, JobMetrics
 from repro.engine.scheduler.request import JobRequest, drive_stages
@@ -37,6 +39,7 @@ from repro.obs.trace import Tracer
 from repro.optimizers.base import Optimizer
 from repro.algebra.toolkit import PlannerToolkit
 from repro.stats.catalog import StatisticsCatalog
+from repro.stats.collector import StatisticsCollector
 
 
 def resolve_logical(node: PlanNode, registry: dict[str, PlanNode]) -> PlanNode:
@@ -66,6 +69,7 @@ def greedy_full_plan(
     session,
     statistics: StatisticsCatalog,
     inl_enabled: bool,
+    broadcast_budget_bytes: float | None = None,
 ) -> PlanNode:
     """Estimate-only greedy join tree (no execution between decisions).
 
@@ -74,7 +78,13 @@ def greedy_full_plan(
     in one shot by repeatedly merging the pair with the smallest estimated
     result — the same greedy policy as the loop, minus the feedback.
     """
-    toolkit = PlannerToolkit(query, session, statistics, inl_enabled)
+    toolkit = PlannerToolkit(
+        query,
+        session,
+        statistics,
+        inl_enabled,
+        broadcast_budget_bytes=broadcast_budget_bytes,
+    )
     nodes: list[PlanNode] = [toolkit.leaf(alias) for alias in query.aliases]
     while len(nodes) > 1:
         best = None
@@ -122,6 +132,16 @@ class DriverState:
     #: materializations from concurrently scheduled queries; empty for
     #: direct (non-scheduled) execution, keeping legacy names.
     namespace: str = ""
+    #: planning constants this run executes under, resolved once at query
+    #: start (possibly from the session's FeedbackLog); checkpointed so a
+    #: resumed run keeps the thresholds it started with.
+    thresholds: RuntimeThresholds = field(default_factory=RuntimeThresholds)
+    #: feedback-policy decisions taken so far (surfaced on ExecutionResult).
+    policy_log: list[PolicyDecision] = field(default_factory=list)
+    #: measured Q-errors of completed materialized stages, oldest first.
+    q_history: list[float] = field(default_factory=list)
+    #: a bad miss armed the widened (bounded-enumeration) next pick.
+    widen_pending: bool = False
 
 
 class SimulatedFailure(RuntimeError):
@@ -146,6 +166,7 @@ class DynamicOptimizer(Optimizer):
         collect_online_sketches: bool = True,
         rank: RankFunction = rank_by_result_cardinality,
         fail_after_jobs: int | None = None,
+        policy: ReplanPolicy | None = None,
     ) -> None:
         self.inl_enabled = inl_enabled
         self.pushdown_enabled = pushdown_enabled
@@ -153,6 +174,9 @@ class DynamicOptimizer(Optimizer):
         self.charge_online_stats = charge_online_stats
         self.collect_online_sketches = collect_online_sketches
         self.rank = rank
+        #: feedback policy consulted after every materialized stage; None
+        #: (or ReplanPolicy.off()) reproduces the fixed paper schedule.
+        self.policy = policy if policy is not None else ReplanPolicy.off()
         #: failure injector: raise SimulatedFailure once this many jobs have
         #: completed (testing the Section-8 checkpoint/resume story)
         self.fail_after_jobs = fail_after_jobs
@@ -209,6 +233,9 @@ class DynamicOptimizer(Optimizer):
             phases=phases,
             tracer=tracer,
             namespace=namespace,
+            # Resolved once per run: adaptive policies read the session's
+            # FeedbackLog here; the fixed schedule gets the paper constants.
+            thresholds=self.policy.resolve(session),
         )
 
         if self.pushdown_enabled:
@@ -220,6 +247,7 @@ class DynamicOptimizer(Optimizer):
                 phases,
                 tracer=tracer,
                 namespace=namespace,
+                min_predicates=state.thresholds.pushdown_min_predicates,
             )
             state.current = outcome.query
             for alias, name in outcome.intermediates.items():
@@ -252,20 +280,39 @@ class DynamicOptimizer(Optimizer):
     def resume_stages(self, state: DriverState, session):
         """The re-optimization loop from a checkpoint, one stage per join."""
         query = state.original
+        policy = self.policy
         while True:
-            toolkit = PlannerToolkit(
-                state.current, session, state.working, self.inl_enabled
-            )
+            toolkit = self._toolkit(state, session)
             planner = Planner(toolkit, self.rank)
-            if len(toolkit.join_graph()) <= 2:
+            joins_remaining = len(toolkit.join_graph())
+            if joins_remaining <= 2:
                 break
-            picked = planner.cheapest_join()
+            if policy.may_fuse(state.q_history, joins_remaining):
+                # Every stage so far landed under fuse_qerror: the remaining
+                # re-optimization points are unlikely to change anything, so
+                # skip them and fuse the rest into the endgame job.
+                state.policy_log.append(
+                    PolicyDecision(
+                        phase=f"join-{state.iteration}",
+                        action="fuse",
+                        q_error=max(state.q_history),
+                        threshold=policy.fuse_qerror,
+                        detail=f"{joins_remaining} remaining joins fused into "
+                        "the final job",
+                    )
+                )
+                return (yield from self._final_stages(query, state, session, fused=True))
+            picked = self._pick_join(state, planner, toolkit, policy)
             name = f"{state.namespace}__join_{state.iteration}"
             keep, stats_columns = self._sink_columns(state.current, toolkit, picked)
             tables_after = len(state.current.tables) - 1
-            if not self.collect_online_sketches or tables_after <= 3:
-                # Online statistics are skipped in the last loop iteration:
-                # "we know that we are not going to further re-optimize".
+            if (
+                not self.collect_online_sketches
+                or tables_after <= state.thresholds.stats_cutoff
+            ):
+                # Online statistics are skipped in the last loop iteration(s):
+                # "we know that we are not going to further re-optimize". The
+                # paper's fixed cutoff is 3; adaptive policies move it.
                 stats_columns = ()
             job = build_sink_job(
                 picked.node,
@@ -295,12 +342,31 @@ class DynamicOptimizer(Optimizer):
                 state.current, toolkit.resolver, picked.pair, name
             )
             state.iteration += 1
+            if policy.enabled:
+                # Consult before the failure injector: the consult (and any
+                # refresh it buys) belongs to the stage, so a checkpoint taken
+                # here already carries the stage's feedback.
+                yield from self._consult_policy(
+                    state, session, policy, name, phase_name, bool(stats_columns)
+                )
             self._maybe_fail(state)
 
-        toolkit = PlannerToolkit(
-            state.current, session, state.working, self.inl_enabled
-        )
-        plan = Planner(toolkit, self.rank).final_plan()
+        return (yield from self._final_stages(query, state, session))
+
+    def _final_stages(self, query: Query, state: DriverState, session, fused=False):
+        """The endgame job: at most two remaining joins — or, when ``fused``,
+        all remaining joins planned greedily in one shot (the policy's
+        early-fuse action)."""
+        if fused:
+            plan = greedy_full_plan(
+                state.current,
+                session,
+                state.working,
+                self.inl_enabled,
+                broadcast_budget_bytes=state.thresholds.broadcast_budget_bytes,
+            )
+        else:
+            plan = Planner(self._toolkit(state, session), self.rank).final_plan()
         job = build_final_job(plan, state.current, session.datasets)
         outcome = yield JobRequest(
             phase="final",
@@ -321,12 +387,159 @@ class DynamicOptimizer(Optimizer):
             plan_description=self.last_tree.describe(),
             phases=state.phases,
             trace=state.tracer.finish(),
+            decisions=tuple(state.policy_log),
         )
 
     def _maybe_fail(self, state: DriverState) -> None:
         if self.fail_after_jobs is not None and state.metrics.jobs >= self.fail_after_jobs:
             self.fail_after_jobs = None  # fail once
             raise SimulatedFailure(state)
+
+    # -- feedback policy --------------------------------------------------------
+
+    def _toolkit(self, state: DriverState, session) -> PlannerToolkit:
+        """Planning toolkit under the run's resolved thresholds."""
+        return PlannerToolkit(
+            state.current,
+            session,
+            state.working,
+            self.inl_enabled,
+            broadcast_budget_bytes=state.thresholds.broadcast_budget_bytes,
+        )
+
+    def _pick_join(
+        self,
+        state: DriverState,
+        planner: Planner,
+        toolkit: PlannerToolkit,
+        policy: ReplanPolicy,
+    ) -> PlannedJoin:
+        """The next join: greedy, or the widened pick after a bad miss.
+
+        When the previous stage's estimate missed badly, the policy arms a
+        one-shot *widened* planning step: the bounded bushy enumeration over
+        the surviving tables replaces the greedy "cheapest next join" rule
+        (the greedy rule is what propagated the miss). Beyond the size
+        bound, or when both agree, the greedy pick stands.
+        """
+        if not state.widen_pending:
+            return planner.cheapest_join()
+        state.widen_pending = False
+        from repro.optimizers.enumeration import bounded_first_join
+
+        widened = bounded_first_join(toolkit, policy.widen_max_tables)
+        greedy = planner.cheapest_join()
+        if widened is None or widened.pair == greedy.pair:
+            return greedy
+        strip = state.namespace
+        state.policy_log.append(
+            PolicyDecision(
+                phase=f"join-{state.iteration}",
+                action="widen",
+                q_error=state.q_history[-1] if state.q_history else 1.0,
+                threshold=state.thresholds.qerror_threshold,
+                detail="enumeration picked "
+                + "+".join(sorted(a.removeprefix(strip) for a in widened.pair))
+                + " over greedy "
+                + "+".join(sorted(a.removeprefix(strip) for a in greedy.pair)),
+            )
+        )
+        return widened
+
+    def _consult_policy(
+        self,
+        state: DriverState,
+        session,
+        policy: ReplanPolicy,
+        name: str,
+        phase_name: str,
+        had_sketches: bool,
+    ):
+        """Compare the stage's measured Q-error against the trigger threshold.
+
+        Runs right after a join stage materialized. Reading the tracer's
+        latest estimate record costs zero simulated seconds; only the
+        *actions* a bad miss triggers (the sketch-refresh job, a widened next
+        pick) touch the clock.
+        """
+        record = state.tracer.latest_estimate(phase=phase_name)
+        if record is None:
+            return
+        q = record.q_error
+        state.q_history.append(q)
+        if not policy.is_bad_miss(q, state.thresholds):
+            return
+        details = []
+        if (
+            policy.refresh_sketches
+            and not had_sketches
+            and self.collect_online_sketches
+        ):
+            refreshed = yield from self._refresh_stages(state, session, name)
+            if refreshed:
+                details.append(
+                    f"refreshed sketches on {name.removeprefix(state.namespace)}"
+                )
+        if policy.widen_search:
+            state.widen_pending = True
+            details.append("widened next pick to bounded enumeration")
+        state.policy_log.append(
+            PolicyDecision(
+                phase=phase_name,
+                action="replan",
+                q_error=q,
+                threshold=state.thresholds.qerror_threshold,
+                detail="; ".join(details),
+            )
+        )
+
+    def _refresh_stages(self, state: DriverState, session, name: str):
+        """Extra re-optimization: re-sketch a mis-estimated intermediate.
+
+        The fixed schedule skips online statistics in the last loop
+        iteration(s); after a bad miss that skip is exactly what leaves the
+        endgame blind (an unsketched intermediate's distinct counts fall
+        back to its row count, deflating every estimate involving it). The
+        refresh reads the materialized intermediate back and sketches its
+        future join columns, charged as one extra cluster job (launch + read
+        + sketch maintenance) on the simulated clock — the driver gathers
+        the sketches in-process and yields the charge as a virtual-cost
+        request, the same pattern as pilot-run sampling.
+        """
+        dataset = session.datasets.get(name)
+        columns = tuple(
+            sorted(
+                column
+                for column in join_columns_of(state.current)
+                if dataset.schema.has_field(column)
+            )
+        )
+        if not columns:
+            return False
+        collector = StatisticsCollector(columns)
+        collector.observe_rows(dataset.rows())
+        state.working.register_from_collector(
+            name, collector, dataset.schema.row_width, dataset.scale
+        )
+        cost = session.executor.cost
+        delta = JobMetrics()
+        delta.startup = cost.job_startup()
+        delta.scan = cost.read_materialized(
+            dataset.modeled_rows, dataset.schema.row_width
+        )
+        delta.stats = cost.statistics(dataset.modeled_rows, len(columns))
+        delta.tuples_scanned = dataset.row_count
+        delta.jobs = 1
+        phase_name = f"replan:{name.removeprefix(state.namespace)}"
+        yield JobRequest(
+            phase=phase_name,
+            cumulative=state.metrics,
+            virtual_cost=delta,
+            tracer=state.tracer,
+            kind="replan",
+        )
+        state.phases.append(phase_name)
+        return True
 
     # -- helpers ----------------------------------------------------------------
 
@@ -363,7 +576,11 @@ class DynamicOptimizer(Optimizer):
     def _single_shot_stages(self, original: Query, state: DriverState, session):
         """Push-down-only mode: one job for all joins, planned greedily."""
         plan = greedy_full_plan(
-            state.current, session, state.working, self.inl_enabled
+            state.current,
+            session,
+            state.working,
+            self.inl_enabled,
+            broadcast_budget_bytes=state.thresholds.broadcast_budget_bytes,
         )
         job = build_final_job(plan, state.current, session.datasets)
         outcome = yield JobRequest(
@@ -383,4 +600,5 @@ class DynamicOptimizer(Optimizer):
             plan_description=self.last_tree.describe(),
             phases=state.phases,
             trace=state.tracer.finish(),
+            decisions=tuple(state.policy_log),
         )

@@ -59,6 +59,7 @@ def pushdown_stages(
     phases: list[str],
     tracer: Tracer | None = None,
     namespace: str = "",
+    min_predicates: int = 2,
 ):
     """Yield every qualifying single-variable query as one request group.
 
@@ -66,11 +67,14 @@ def pushdown_stages(
     ``working_statistics`` under the intermediate's name (the paper "updates
     the statistics attached to the base unfiltered datasets to depict the new
     cardinalities" — here the rewrite points the alias at the new entry).
-    Returns the :class:`PushdownOutcome` with the rewritten query.
+    ``min_predicates`` parameterizes the candidate rule (the paper's fixed
+    "two simple predicates or any complex one" corresponds to 2; adaptive
+    policies may lower it). Returns the :class:`PushdownOutcome` with the
+    rewritten query.
     """
     resolver = ColumnResolver(query, session.datasets.schema_lookup)
     columns_of_alias = {alias: resolver.columns_of(alias) for alias in query.aliases}
-    candidates = pushdown_candidates(query, columns_of_alias)
+    candidates = pushdown_candidates(query, columns_of_alias, min_predicates)
     join_columns = join_columns_of(query)
 
     requests = []

@@ -94,6 +94,10 @@ class ExecutionResult:
     #: cluster clock and the queueing delay charged under saturation. None
     #: for direct (unscheduled) execution; never affects ``metrics``.
     schedule: object | None = None
+    #: feedback-policy decisions (repro.core.policy.PolicyDecision) taken
+    #: during this run: replan triggers, widened picks, early fusing. Empty
+    #: for runs without a policy (or with ReplanPolicy.off()).
+    decisions: tuple = ()
 
     @property
     def seconds(self) -> float:

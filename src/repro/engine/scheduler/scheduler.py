@@ -386,6 +386,12 @@ class JobScheduler:
                 queue_delay_seconds=handle.queue_delay_seconds,
                 busy_seconds=result.metrics.total_seconds,
             )
+            # Feed the finished run into the owning session's cross-query
+            # feedback history (misestimates + spills). Pure observation:
+            # it never mutates the result and charges nothing.
+            feedback = getattr(handle.session, "feedback", None)
+            if feedback is not None:
+                feedback.observe_result(result)
 
     def _fail(self, handle: QueryHandle, error: BaseException) -> None:
         handle.finished_at = self.now

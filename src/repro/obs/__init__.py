@@ -20,12 +20,13 @@ from repro.obs.trace import (
     Tracer,
     q_error,
 )
-from repro.obs.report import render_explain_analyze, qerror_stats
+from repro.obs.report import ExplainReport, render_explain_analyze, qerror_stats
 from repro.obs.timeline import ClusterTimeline, TimelineEvent
 
 __all__ = [
     "ClusterTimeline",
     "EstimateRecord",
+    "ExplainReport",
     "QueryTrace",
     "Span",
     "TimelineEvent",

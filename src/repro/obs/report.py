@@ -2,7 +2,42 @@
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
+
 from repro.obs.trace import QueryTrace, Span, q_error
+
+
+@dataclass(frozen=True)
+class ExplainReport:
+    """Structured result of :meth:`repro.session.Session.explain`.
+
+    Callers historically parsed the plan text; the fields make the strategy,
+    phase list, simulated cost, and any policy decisions addressable while
+    ``str(report)`` stays the plan description for drop-in compatibility.
+    """
+
+    strategy: str
+    plan_description: str
+    simulated_seconds: float
+    phases: tuple[str, ...] = ()
+    decisions: tuple = ()
+
+    def __str__(self) -> str:
+        return self.plan_description
+
+    def describe(self) -> str:
+        """Multi-line summary: plan, phases, cost, policy decisions."""
+        lines = [
+            f"strategy: {self.strategy}",
+            f"plan: {self.plan_description}",
+            f"simulated seconds: {self.simulated_seconds:.2f}",
+        ]
+        if self.phases:
+            lines.append("phases: " + " -> ".join(self.phases))
+        for decision in self.decisions:
+            lines.append(f"decision: {decision.describe()}")
+        return "\n".join(lines)
 
 
 def _format_rows(value: float) -> str:
@@ -77,17 +112,28 @@ def qerror_stats(trace: QueryTrace | None) -> dict:
 
     Returns ``records`` (count), ``final`` (root-join Q-error of the last
     job), ``worst`` and ``mean`` — the numbers the bench harness tabulates
-    per optimizer. An execution without estimate records (or without a
+    per optimizer — plus ``infinite``, the count of unbounded misses
+    (zero-estimate or zero-actual stages). ``worst``/``mean`` aggregate the
+    *finite* records only, so downstream consumers (the feedback policy's
+    adaptive thresholds, the bench summaries) never ingest ``inf``/``NaN``;
+    an all-infinite trace yields ``None`` aggregates with a nonzero
+    ``infinite`` count. An execution without estimate records (or without a
     trace) yields zeros/None so callers can render a placeholder.
     """
     if trace is None or not trace.estimates:
-        return {"records": 0, "final": None, "worst": None, "mean": None}
+        return {
+            "records": 0,
+            "infinite": 0,
+            "final": None,
+            "worst": None,
+            "mean": None,
+        }
     errors = [record.q_error for record in trace.estimates]
-    finite = [e for e in errors if e != float("inf")]
-    mean = sum(finite) / len(finite) if finite else float("inf")
+    finite = [e for e in errors if math.isfinite(e)]
     return {
         "records": len(errors),
+        "infinite": len(errors) - len(finite),
         "final": trace.final_q_error(),
-        "worst": max(errors),
-        "mean": mean,
+        "worst": max(finite) if finite else None,
+        "mean": sum(finite) / len(finite) if finite else None,
     }

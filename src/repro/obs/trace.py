@@ -250,6 +250,19 @@ class Tracer:
                 )
             )
 
+    def latest_estimate(self, phase: str | None = None) -> EstimateRecord | None:
+        """The most recent estimate record (optionally within ``phase``).
+
+        Operator spans close bottom-up, so within a phase the outermost
+        join's record is appended last — for a join stage this is the
+        stage's root estimate. This is the zero-cost read the feedback
+        policy uses right after a materialized stage completes.
+        """
+        for record in reversed(self.estimates):
+            if phase is None or record.phase == phase:
+                return record
+        return None
+
     def record_estimate(
         self,
         phase: str,

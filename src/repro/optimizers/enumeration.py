@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from itertools import combinations
 
-from repro.algebra.plan import PlanNode
+from repro.algebra.plan import JoinNode, LeafNode, PlanNode
 from repro.common.errors import OptimizationError
 from repro.algebra.toolkit import PlannerToolkit
 
@@ -70,3 +70,47 @@ def best_bushy_plan(toolkit: PlannerToolkit, movement_aware: bool = False) -> Pl
             "join graph is disconnected: no cross-product-free plan exists"
         )
     return final[1]
+
+
+def bounded_first_join(toolkit: PlannerToolkit, max_tables: int = 8):
+    """The first base-table join of the DP-optimal bushy tree, or ``None``.
+
+    The feedback policy's *widened* planning step: instead of the greedy
+    "cheapest next join" rule, run the exhaustive enumeration over the
+    surviving tables and commit to one of the leaf-leaf joins the optimal
+    tree starts from (the one with the smallest estimated result — the next
+    re-optimization point will re-plan the rest anyway). Returns a
+    :class:`~repro.core.planner.PlannedJoin` so the driver can substitute it
+    for the greedy pick, or ``None`` when the query exceeds ``max_tables``
+    (the DP is exponential; past the bound the greedy rule stays in charge).
+    """
+    from repro.core.planner import PlannedJoin  # late import: avoids a cycle
+
+    if len(toolkit.query.aliases) > max_tables:
+        return None
+    tree = best_bushy_plan(toolkit)
+    candidates: list[JoinNode] = []
+
+    def visit(node: PlanNode) -> None:
+        if not isinstance(node, JoinNode):
+            return
+        if isinstance(node.build, LeafNode) and isinstance(node.probe, LeafNode):
+            candidates.append(node)
+            return
+        visit(node.build)
+        visit(node.probe)
+
+    visit(tree)
+    if not candidates:
+        return None
+    node = min(
+        candidates, key=lambda n: (n.estimated_rows, tuple(sorted(n.aliases)))
+    )
+    pair = frozenset((node.build.alias, node.probe.alias))
+    conditions = tuple(toolkit.conditions_across(node.build.aliases, node.probe.aliases))
+    return PlannedJoin(
+        pair=pair,
+        conditions=conditions,
+        rank=node.estimated_rows,
+        node=node,
+    )

@@ -19,11 +19,12 @@ class IngresLikeOptimizer(DynamicOptimizer):
 
     name = "ingres"
 
-    def __init__(self, inl_enabled: bool = False) -> None:
+    def __init__(self, inl_enabled: bool = False, policy=None) -> None:
         super().__init__(
             inl_enabled=inl_enabled,
             rank=rank_by_input_cardinality,
             # Intermediates keep row counts only — INGRES has no sketch
             # framework, so no online quantile/HLL collection (or cost).
             collect_online_sketches=False,
+            policy=policy,
         )

@@ -56,11 +56,18 @@ class PilotRunOptimizer(DynamicOptimizer):
 
     name = "pilot_run"
 
-    def __init__(self, inl_enabled: bool = False, sample_limit: int = 100) -> None:
+    def __init__(
+        self,
+        inl_enabled: bool = False,
+        sample_limit: int = 100,
+        policy=None,
+    ) -> None:
         # Pilot runs *estimate* predicate selectivities from the sample; the
         # main execution evaluates local predicates inline (no push-down
         # materialization — that is the dynamic approach's addition).
-        super().__init__(inl_enabled=inl_enabled, pushdown_enabled=False)
+        super().__init__(
+            inl_enabled=inl_enabled, pushdown_enabled=False, policy=policy
+        )
         self.sample_limit = sample_limit
 
     def prepare_statistics(

@@ -3,10 +3,10 @@
 A session owns the simulated cluster, the dataset and statistics catalogs,
 the UDF registry, and the executor. Typical use::
 
-    from repro import Session
+    from repro import PlannerSpec, Session
     session = Session()
     session.load("orders", orders_schema, rows)
-    result = session.execute(query, optimizer="dynamic")
+    result = session.execute(query, PlannerSpec.of("dynamic"))
     print(result.seconds, result.plan_description)
 
 Concurrent execution goes through the job scheduler: :meth:`Session.submit`
@@ -26,11 +26,14 @@ from repro.cluster.config import ClusterConfig, default_cluster
 from repro.cluster.cost import CostParameters
 from repro.common.errors import OptimizationError
 from repro.common.types import Schema
+from repro.core.policy import FeedbackLog
 from repro.engine.executor import Executor
 from repro.engine.metrics import ExecutionResult
 from repro.engine.scheduler import JobScheduler, QueryHandle, SchedulerConfig
 from repro.lang.ast import Query
 from repro.lang.udf import UdfRegistry, default_registry
+from repro.obs.report import ExplainReport
+from repro.spec import PlannerSpec, resolve_planner
 from repro.stats.catalog import StatisticsCatalog
 from repro.storage.catalog import DatasetCatalog
 from repro.storage.dataset import Dataset
@@ -60,6 +63,10 @@ class Session:
         )
         self.scheduler_config = scheduler_config
         self.scheduler = JobScheduler(self.executor, scheduler_config)
+        #: cross-query misestimate/spill history; every execution that runs
+        #: through a scheduler (execute/submit both do) is folded in, and
+        #: adaptive ReplanPolicy instances derive their thresholds from it.
+        self.feedback = FeedbackLog()
 
     # -- data management ----------------------------------------------------
 
@@ -94,14 +101,22 @@ class Session:
     # -- query execution ------------------------------------------------------
 
     def execute(
-        self, query: Query, optimizer: str = "dynamic", **options
+        self,
+        query: Query,
+        planner: PlannerSpec | str | None = None,
+        *,
+        optimizer: str | None = None,
+        **options,
     ) -> ExecutionResult:
         """Optimize + execute ``query`` with one of the registered strategies.
 
-        ``optimizer`` is one of ``dynamic``, ``cost_based``, ``from_order``
-        (stock AsterixDB: joins follow the FROM clause), ``best_order``,
-        ``worst_order``, ``pilot_run``, ``ingres``. Extra keyword options are
-        forwarded to the optimizer (e.g. ``inl_enabled=True``).
+        ``planner`` is a :class:`~repro.spec.PlannerSpec` naming the strategy
+        (``dynamic``, ``cost_based``, ``from_order`` — stock AsterixDB: joins
+        follow the FROM clause — ``best_order``, ``worst_order``,
+        ``pilot_run``, ``ingres``) plus validated options, e.g.
+        ``PlannerSpec.of("dynamic", policy=ReplanPolicy.default())``. The
+        legacy ``optimizer="name"`` + loose keyword form still works through
+        a deprecation shim and produces identical results.
 
         Runs as a single-query schedule on a private scheduler, so this is
         the same code path as concurrent submission — just with nobody to
@@ -112,37 +127,36 @@ class Session:
         """
         from dataclasses import replace
 
-        from repro.optimizers import make_optimizer  # late import: avoids a cycle
-
-        strategy = make_optimizer(optimizer, **options)
+        spec = resolve_planner(planner, optimizer, options, entry="execute")
         config = replace(
             self.scheduler_config or SchedulerConfig(), batch_pushdown_scans=False
         )
         scheduler = JobScheduler(self.executor, config)
-        handle = scheduler.submit(query, strategy, self)
+        handle = scheduler.submit(query, spec.make(), self)
         scheduler.run_all()
         return handle.result()
 
     def submit(
         self,
         query: Query,
-        optimizer: str = "dynamic",
+        planner: PlannerSpec | str | None = None,
         priority: int = 0,
         label: str = "",
+        *,
+        optimizer: str | None = None,
         **options,
     ) -> QueryHandle:
         """Queue ``query`` on the session's shared scheduler.
 
         Nothing executes until :meth:`run_all`; the returned handle exposes
         status, the queueing delay charged under saturation, and (once run)
-        the :class:`~repro.engine.metrics.ExecutionResult`. Unknown optimizer
-        names raise immediately, not at run time.
+        the :class:`~repro.engine.metrics.ExecutionResult`. An invalid
+        :class:`~repro.spec.PlannerSpec` (or legacy optimizer name/option)
+        raises immediately, not at run time.
         """
-        from repro.optimizers import make_optimizer
-
-        strategy = make_optimizer(optimizer, **options)
+        spec = resolve_planner(planner, optimizer, options, entry="submit")
         return self.scheduler.submit(
-            query, strategy, self, priority=priority, label=label
+            query, spec.make(), self, priority=priority, label=label
         )
 
     def run_all(self) -> list[QueryHandle]:
@@ -159,26 +173,46 @@ class Session:
 
         return sorted(OPTIMIZERS)
 
-    def explain(self, query: Query, optimizer: str = "dynamic", **options) -> str:
-        """The plan ``optimizer`` would (or did) use, without keeping state.
+    def explain(
+        self,
+        query: Query,
+        planner: PlannerSpec | str | None = None,
+        *,
+        optimizer: str | None = None,
+        **options,
+    ) -> ExplainReport:
+        """The plan the chosen strategy would (or did) use, without keeping state.
 
         Runtime dynamic optimization only *has* a final plan after running —
         that is the paper's point — so for the feedback-driven strategies
         this executes the query on the side and reports the captured tree;
         static strategies plan without executing side effects either way.
         Intermediates created along the way are cleaned up.
-        """
-        from repro.optimizers import make_optimizer
 
-        strategy = make_optimizer(optimizer, **options)
+        Returns an :class:`~repro.obs.report.ExplainReport`;
+        ``str(report)`` is the plan description, so callers that treated the
+        return value as text keep working.
+        """
+        spec = resolve_planner(planner, optimizer, options, entry="explain")
         try:
-            result = strategy.execute(query, self)
-            return result.plan_description
+            result = spec.make().execute(query, self)
+            return ExplainReport(
+                strategy=spec.strategy,
+                plan_description=result.plan_description,
+                simulated_seconds=result.seconds,
+                phases=tuple(result.phases),
+                decisions=tuple(result.decisions),
+            )
         finally:
             self.reset_intermediates()
 
     def explain_analyze(
-        self, query: Query, optimizer: str = "dynamic", **options
+        self,
+        query: Query,
+        planner: PlannerSpec | str | None = None,
+        *,
+        optimizer: str | None = None,
+        **options,
     ) -> str:
         """Execute ``query`` and render its trace as a plan-with-actuals report.
 
@@ -188,11 +222,9 @@ class Session:
         report, and cleans up intermediates — the EXPLAIN ANALYZE of the
         simulated engine.
         """
-        from repro.optimizers import make_optimizer
-
-        strategy = make_optimizer(optimizer, **options)
+        spec = resolve_planner(planner, optimizer, options, entry="explain_analyze")
         try:
-            return strategy.execute(query, self).explain_analyze()
+            return spec.make().execute(query, self).explain_analyze()
         finally:
             self.reset_intermediates()
 

@@ -9,6 +9,7 @@ evaluation.
 import pytest
 
 from repro.bench.runner import QUERIES, workbench_for_query
+from repro.spec import PlannerSpec
 from repro.testing import evaluate_reference, rows_equal_unordered
 
 from tests.conftest import build_star_session, star_query
@@ -28,7 +29,7 @@ ALL_OPTIMIZERS = (
 def test_star_query_matches_reference(optimizer):
     session = build_star_session()
     query = star_query()
-    result = session.execute(query, optimizer=optimizer)
+    result = session.execute(query, PlannerSpec.of(optimizer))
     session.reset_intermediates()
     assert rows_equal_unordered(result.rows, evaluate_reference(query, session))
 
@@ -38,7 +39,7 @@ def test_star_query_matches_reference(optimizer):
 def test_paper_queries_match_reference_sf10(label, optimizer):
     bench = workbench_for_query(label, 10)
     query = bench.query(label)
-    result = bench.session.execute(query, optimizer=optimizer)
+    result = bench.session.execute(query, PlannerSpec.of(optimizer))
     bench.session.reset_intermediates()
     reference = evaluate_reference(query, bench.session)
     assert rows_equal_unordered(result.rows, reference)
@@ -49,9 +50,11 @@ def test_inl_results_match_hash_results_sf10(label):
     bench = workbench_for_query(label, 10)
     bench.ensure_indexes()
     query = bench.query(label)
-    with_inl = bench.session.execute(query, optimizer="dynamic", inl_enabled=True)
+    with_inl = bench.session.execute(
+        query, PlannerSpec.of("dynamic", inl_enabled=True)
+    )
     bench.session.reset_intermediates()
-    without = bench.session.execute(query, optimizer="dynamic")
+    without = bench.session.execute(query, PlannerSpec.of("dynamic"))
     bench.session.reset_intermediates()
     assert rows_equal_unordered(with_inl.rows, without.rows)
 
@@ -60,9 +63,9 @@ def test_parameter_rebinding_changes_results():
     from repro.workloads.tpcds import query_50
 
     bench = workbench_for_query("Q50", 10)
-    first = bench.session.execute(query_50(moy=9, year=2000), optimizer="dynamic")
+    first = bench.session.execute(query_50(moy=9, year=2000), PlannerSpec.of("dynamic"))
     bench.session.reset_intermediates()
-    second = bench.session.execute(query_50(moy=2, year=1999), optimizer="dynamic")
+    second = bench.session.execute(query_50(moy=2, year=1999), PlannerSpec.of("dynamic"))
     bench.session.reset_intermediates()
     reference = evaluate_reference(query_50(moy=2, year=1999), bench.session)
     assert rows_equal_unordered(second.rows, reference)
