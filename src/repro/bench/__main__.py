@@ -53,6 +53,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
+        "--job-slots",
+        type=int,
+        default=2,
+        help="partition-slice slots for the throughput experiment's "
+        "space-shared mode (default 2; 1 disables space sharing)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="tiny fast configuration (used by CI to exercise the code paths)",
@@ -95,7 +102,10 @@ def main(argv: list[str] | None = None) -> int:
         throughput_sf = (tuple(args.sf) if args.sf else (10,))[0]
         query_count = 2 if args.smoke else 4
         report = throughput.run_throughput(
-            scale_factor=throughput_sf, query_count=query_count, seed=args.seed
+            scale_factor=throughput_sf,
+            query_count=query_count,
+            seed=args.seed,
+            job_slots=args.job_slots,
         )
         print(throughput.format_throughput(report))
         print()

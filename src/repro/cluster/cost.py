@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.config import ClusterConfig
+from repro.common.errors import ReproError
 
 
 @dataclass(frozen=True)
@@ -46,13 +47,24 @@ class CostParameters:
 
 
 class CostModel:
-    """Accumulates simulated time for engine activity on a given cluster."""
+    """Accumulates simulated time for engine activity on a given cluster.
+
+    ``partitions`` (when given) narrows the *compute* view of the cluster to
+    a partition slice: the space-shared scheduler assigns each concurrent
+    cluster job a disjoint subset of partitions, so partitioned work divides
+    by the slice width rather than the full cluster, and the per-job join
+    memory budget shrinks proportionally (spill pressure rises as slices
+    shrink). Data placement is unaffected — storage stays partitioned over
+    the whole cluster; only the degree of parallelism charged to this job's
+    clock changes.
+    """
 
     def __init__(
         self,
         cluster: ClusterConfig,
         params: CostParameters | None = None,
         join_budget_bytes: float | None = None,
+        partitions: int | None = None,
     ) -> None:
         self.cluster = cluster
         self.params = params or CostParameters()
@@ -60,27 +72,53 @@ class CostModel:
         #: feedback policies shrink it when observed spills show the
         #: cluster-derived default was too optimistic.
         self.join_budget_bytes = join_budget_bytes
+        if partitions is not None and partitions < 1:
+            raise ReproError("a partition slice needs at least one partition")
+        self._partitions = partitions
+
+    @property
+    def partitions(self) -> int:
+        """Degree of parallelism this view charges against (slice or full)."""
+        if self._partitions is not None:
+            return self._partitions
+        return self.cluster.partitions
+
+    def with_partitions(self, partitions: int) -> "CostModel":
+        """A view of this model restricted to a ``partitions``-wide slice.
+
+        Returns ``self`` unchanged for a full-width slice so serial
+        scheduling keeps the exact same object (and float arithmetic) as
+        before space sharing existed.
+        """
+        if partitions >= self.cluster.partitions and self._partitions is None:
+            return self
+        return CostModel(
+            self.cluster,
+            self.params,
+            join_budget_bytes=self.join_budget_bytes,
+            partitions=min(max(1, partitions), self.cluster.partitions),
+        )
 
     # Each method returns the *wall-clock* seconds the activity contributes.
 
     def scan(self, rows: float, row_width: int) -> float:
         """Full partitioned scan of a stored dataset."""
-        per_partition_rows = rows / self.cluster.partitions
+        per_partition_rows = rows / self.partitions
         return per_partition_rows * (
             self.params.cpu_tuple + row_width * self.params.disk_byte
         )
 
     def predicate_eval(self, rows: float, predicate_count: int = 1) -> float:
-        return (rows / self.cluster.partitions) * self.params.cpu_predicate * max(
+        return (rows / self.partitions) * self.params.cpu_predicate * max(
             1, predicate_count
         )
 
     def hash_exchange(self, rows: float, row_width: int) -> float:
         """Re-partition rows by hash: every row crosses the network once,
         links operate in parallel."""
-        per_partition_bytes = rows * row_width / self.cluster.partitions
+        per_partition_bytes = rows * row_width / self.partitions
         return per_partition_bytes * self.params.network_byte + (
-            rows / self.cluster.partitions
+            rows / self.partitions
         ) * self.params.cpu_tuple
 
     def broadcast_exchange(self, rows: float, row_width: int) -> float:
@@ -90,7 +128,7 @@ class CostModel:
 
     def hash_build(self, rows: float) -> float:
         """Build side of a partitioned hash join (parallel across partitions)."""
-        return (rows / self.cluster.partitions) * self.params.cpu_tuple
+        return (rows / self.partitions) * self.params.cpu_tuple
 
     @property
     def join_memory_bytes(self) -> float:
@@ -103,8 +141,8 @@ class CostModel:
         over the cluster-derived default.
         """
         if self.join_budget_bytes is not None:
-            return self.join_budget_bytes * self.cluster.partitions
-        return self.cluster.broadcast_threshold_bytes * self.cluster.partitions
+            return self.join_budget_bytes * self.partitions
+        return self.cluster.broadcast_threshold_bytes * self.partitions
 
     def spill(self, build_bytes: float, probe_bytes: float) -> float:
         """Grace-hash-join overflow cost (Section 3: "the rest (if any) in
@@ -121,7 +159,7 @@ class CostModel:
             return 0.0
         spilled_fraction = 1.0 - capacity / build_bytes
         spilled_bytes = (build_bytes + probe_bytes) * spilled_fraction
-        return 2.0 * spilled_bytes / self.cluster.partitions * self.params.disk_byte
+        return 2.0 * spilled_bytes / self.partitions * self.params.disk_byte
 
     def broadcast_build(self, rows: float) -> float:
         """Each partition builds a hash table over the *entire* broadcast
@@ -129,7 +167,7 @@ class CostModel:
         return rows * self.params.cpu_tuple
 
     def probe(self, rows: float) -> float:
-        return (rows / self.cluster.partitions) * self.params.cpu_tuple
+        return (rows / self.partitions) * self.params.cpu_tuple
 
     def index_lookups(self, lookups: float) -> float:
         """INL probes; every partition performs lookups for all broadcast
@@ -138,9 +176,9 @@ class CostModel:
 
     def materialize(self, rows: float, row_width: int) -> float:
         """Sink: write intermediate data to per-partition temp storage."""
-        per_partition_bytes = rows * row_width / self.cluster.partitions
+        per_partition_bytes = rows * row_width / self.partitions
         return per_partition_bytes * self.params.disk_byte + (
-            rows / self.cluster.partitions
+            rows / self.partitions
         ) * self.params.cpu_tuple
 
     def read_materialized(self, rows: float, row_width: int) -> float:
@@ -149,7 +187,7 @@ class CostModel:
 
     def statistics(self, rows: float, tracked_fields: int) -> float:
         """Online sketch maintenance, overlapped across partitions."""
-        return (rows / self.cluster.partitions) * tracked_fields * self.params.stats_value
+        return (rows / self.partitions) * tracked_fields * self.params.stats_value
 
     def result_output(self, rows: float, row_width: int) -> float:
         """DistributeResult: funnel final rows back to the coordinator."""

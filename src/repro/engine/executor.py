@@ -44,6 +44,7 @@ class Executor:
         parameters: dict | None = None,
         statistics: StatisticsCatalog | None = None,
         tracer=None,
+        partitions: int | None = None,
     ) -> tuple[PartitionedData, JobMetrics]:
         """Run one job; returns its output data and this job's metrics.
 
@@ -53,13 +54,19 @@ class Executor:
         ``tracer`` (an :class:`repro.obs.Tracer`) makes every operator open a
         trace span; it observes metrics without charging anything, so the
         returned metrics are identical with or without it.
+        ``partitions`` restricts the job to a partition slice of the cluster
+        (the space-shared scheduler's per-job allotment): all cost formulas
+        divide by the slice width and the join memory budget shrinks with
+        it, while data placement — and therefore the job's output rows —
+        stays exactly the same.
         """
         metrics = JobMetrics()
         metrics.jobs = 1
-        metrics.startup = self.cost.job_startup()
+        cost = self.cost if partitions is None else self.cost.with_partitions(partitions)
+        metrics.startup = cost.job_startup()
         state = ExecState(
             cluster=self.cluster,
-            cost=self.cost,
+            cost=cost,
             datasets=self.datasets,
             statistics=statistics if statistics is not None else self.statistics,
             evaluation=EvaluationContext(parameters or {}, self.udfs),

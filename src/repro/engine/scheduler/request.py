@@ -113,8 +113,12 @@ def _perform(
     executor: "Executor",
     request: JobRequest,
     scan_share: tuple[int, int] | None,
+    partitions: int | None,
 ) -> JobOutcome:
     if request.virtual_cost is not None:
+        # Virtual-cost requests carry a driver-computed metrics delta (pilot
+        # sampling, sketch refresh); the charge is applied as given — those
+        # jobs are coordinator-side work, not partitioned cluster jobs.
         data = None
         job_metrics = request.virtual_cost.copy()
     else:
@@ -123,6 +127,7 @@ def _perform(
             request.parameters,
             request.statistics,
             tracer=request.tracer,
+            partitions=partitions,
         )
     shared_with = 1
     if scan_share is not None and scan_share[1] > 1:
@@ -138,6 +143,7 @@ def run_request(
     executor: "Executor",
     request: JobRequest,
     scan_share: tuple[int, int] | None = None,
+    partitions: int | None = None,
 ) -> JobOutcome:
     """Execute one request: phase span, job, refunds, merge, estimate record.
 
@@ -147,12 +153,14 @@ def run_request(
     inside the phase show the *undiscounted* in-job clock (the scan did
     physically happen once at full width); the phase span end and the
     query's cumulative metrics reflect the discounted share.
+    ``partitions`` runs the job on a partition slice of the cluster (the
+    space-shared scheduler's allotment); ``None`` means the full cluster.
     """
     tracer = request.tracer
     if tracer is None:
-        return _perform(executor, request, scan_share)
+        return _perform(executor, request, scan_share, partitions)
     with tracer.phase(request.phase):
-        outcome = _perform(executor, request, scan_share)
+        outcome = _perform(executor, request, scan_share, partitions)
         tracer.sync(request.cumulative.total_seconds)
     if request.estimate is not None and outcome.data is not None:
         operator, estimated_rows = request.estimate

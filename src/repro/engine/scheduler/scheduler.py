@@ -8,31 +8,47 @@ different queries on one shared simulated clock:
 
 - **Admission.** At most ``max_concurrent_queries`` queries run at once;
   the rest wait in a priority/FIFO admission queue and are charged the wait.
-- **One job at a time.** Jobs use every partition of the simulated cluster,
-  so the cluster timeline is a sequence of job intervals; fairness comes
-  from interleaving *stages*, picking the admitted query that has waited
-  longest (priority first).
-- **Queueing delay.** Whenever a query's next job is ready but the cluster
-  is busy with someone else's job (or the query is waiting for admission),
-  the gap is charged to that query's schedule record — never to its
-  :class:`~repro.engine.metrics.JobMetrics`, which stay byte-identical to a
-  solo run. A solo query therefore accrues zero delay: delay only appears
-  under saturation.
+- **Space sharing.** The cluster is a pool of ``job_slots`` partition-slice
+  slots. Each launched cluster job is assigned a slice — an even split of
+  the cluster's partitions across the jobs active at launch time, the full
+  cluster when alone — and jobs in different slots overlap on the shared
+  clock. The event loop is event-driven: launches happen whenever a slot is
+  free and some query has a ready request; otherwise the clock jumps to the
+  earliest completion in a min-heap of in-flight jobs. ``job_slots=1``
+  degenerates to the historical serial schedule (one full-width job at a
+  time, byte-identical accounting).
+- **Slice costing.** A job launched on an ``n``-partition slice is costed
+  against :meth:`repro.cluster.cost.CostModel.with_partitions`: partitioned
+  work divides by ``n`` instead of the full cluster and the join memory
+  budget shrinks with the slice, so narrow slices raise spill pressure —
+  feeding the session's cross-query spill feedback. Data placement (and
+  therefore every query's answer) is unaffected.
+- **Queueing delay.** A query is charged delay only for time the cluster had
+  *no free slice* for its ready request (or while it waited for admission).
+  Ready work launches the moment a slot is free, so a solo query — or any
+  workload fitting inside the slot pool — accrues zero delay. Delay lands on
+  the per-query schedule record, never on its
+  :class:`~repro.engine.metrics.JobMetrics`.
 - **Pushdown scan batching.** Pending pushdown requests (same or different
   queries) that scan the same base dataset merge into one cluster job: the
   base scan and job launch are charged once and split evenly across the
   branches, while each branch keeps its own select/sink work, intermediate,
-  statistics catalog and trace. This is what makes a concurrent
-  multi-predicate workload cheaper than the sum of its solo runs.
+  statistics catalog and trace. Merging happens at launch time, so a merged
+  scan occupies a single slot while unrelated jobs overlap in the others.
 
 Per-query results are the ordinary :class:`ExecutionResult`; the scheduler
-annotates each with a :class:`ScheduleInfo` and records every cluster job in
-a :class:`~repro.obs.timeline.ClusterTimeline`.
+annotates each with a :class:`ScheduleInfo` (failed queries get one too,
+with the error recorded) and records every cluster job in a
+:class:`~repro.obs.timeline.ClusterTimeline`. A finished or failed query's
+namespaced intermediates are dropped from the session catalogs so sustained
+traffic cannot grow them without bound — except after a failure that carries
+a resumable checkpoint, whose intermediates are the recovery state.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import heapq
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.common.errors import ReproError
@@ -47,16 +63,22 @@ if TYPE_CHECKING:
 
 @dataclass(frozen=True)
 class SchedulerConfig:
-    """Admission and batching policy of one scheduler instance."""
+    """Admission, space-sharing and batching policy of one scheduler."""
 
     #: queries allowed past admission at once; submissions beyond this wait.
     max_concurrent_queries: int = 4
     #: merge pending pushdown scans over the same base dataset into one job.
     batch_pushdown_scans: bool = True
+    #: partition-slice slots: how many cluster jobs may run concurrently.
+    #: 1 reproduces the historical serial schedule exactly; >1 space-shares
+    #: the cluster, splitting partitions evenly across active jobs.
+    job_slots: int = 1
 
     def __post_init__(self) -> None:
         if self.max_concurrent_queries < 1:
             raise ReproError("scheduler needs at least one admission slot")
+        if self.job_slots < 1:
+            raise ReproError("scheduler needs at least one job slot")
 
 
 @dataclass(frozen=True)
@@ -68,16 +90,24 @@ class ScheduleInfo:
     submitted_at: float
     admitted_at: float
     finished_at: float
-    #: simulated seconds spent waiting (admission queue + cluster busy with
-    #: other queries' jobs); zero when the query had the cluster to itself.
+    #: simulated seconds spent waiting (admission queue + no free partition
+    #: slice); zero when the query never had to wait for cluster capacity.
     queue_delay_seconds: float
     #: the query's own charged work (== its metrics.total_seconds).
     busy_seconds: float
+    #: set when the query failed: ``"ExceptionType: message"``. A failed
+    #: query still gets a schedule record so throughput reports and the
+    #: cluster timeline account for the capacity it consumed.
+    error: str | None = None
 
     @property
     def latency_seconds(self) -> float:
         """Submission-to-completion time on the shared clock."""
         return self.finished_at - self.submitted_at
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 class QueryHandle:
@@ -106,6 +136,11 @@ class QueryHandle:
         self.admitted_at: float | None = None
         self.finished_at: float | None = None
         self.queue_delay_seconds = 0.0
+        #: total charged work recorded so far (sum of outcome metrics);
+        #: the basis of a failed query's schedule record.
+        self.charged_seconds = 0.0
+        #: schedule record, set at finish *and* at failure.
+        self.schedule: ScheduleInfo | None = None
         #: shared-clock instant since which the query's next work is ready
         self.ready_since = submitted_at
         self._generator = None
@@ -142,15 +177,19 @@ class QueryHandle:
 
     # -- scheduler internals --------------------------------------------------
 
-    def _pending_request(self) -> JobRequest:
-        return self._requests[self._cursor]
-
     def _has_pending(self) -> bool:
         return self._cursor < len(self._requests)
 
     def _record_outcome(self, index: int, outcome: JobOutcome) -> None:
         self._outcomes[index] = outcome
-        while self._cursor < len(self._outcomes) and self._outcomes[self._cursor]:
+        self.charged_seconds += outcome.metrics.total_seconds
+        # Compare against None, not truthiness: a JobOutcome subclass (or a
+        # future slotted outcome) may legitimately be falsy, and a truthiness
+        # check would park the cursor on it forever, wedging the query.
+        while (
+            self._cursor < len(self._outcomes)
+            and self._outcomes[self._cursor] is not None
+        ):
             self._cursor += 1
 
     def _payload(self):
@@ -158,13 +197,29 @@ class QueryHandle:
         return outcomes if self._group else outcomes[0]
 
 
+@dataclass
+class _InFlightJob:
+    """One launched cluster job awaiting its completion instant."""
+
+    end_seconds: float
+    order: int  # launch sequence; heap tie-break keeps pops deterministic
+    start_seconds: float
+    slot: int
+    entries: list[tuple[QueryHandle, int]] = field(default_factory=list)
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    participants: list[QueryHandle] = field(default_factory=list)
+
+    def __lt__(self, other: "_InFlightJob") -> bool:
+        return (self.end_seconds, self.order) < (other.end_seconds, other.order)
+
+
 class JobScheduler:
-    """Admission + interleaving + batching over one simulated cluster."""
+    """Admission + space sharing + batching over one simulated cluster."""
 
     def __init__(self, executor: "Executor", config: SchedulerConfig | None = None) -> None:
         self.executor = executor
         self.config = config or SchedulerConfig()
-        #: the shared simulated clock (end of the last completed job)
+        #: the shared simulated clock (latest completion processed so far)
         self.now = 0.0
         #: cluster jobs actually launched (merged scans count once)
         self.cluster_jobs = 0
@@ -173,6 +228,14 @@ class JobScheduler:
         self.timeline = ClusterTimeline()
         self._waiting: list[QueryHandle] = []
         self._running: list[QueryHandle] = []
+        #: min-heap of launched jobs keyed by (end time, launch order)
+        self._in_flight: list[_InFlightJob] = []
+        #: (query_id, request_index) pairs currently launched
+        self._busy: set[tuple[int, int]] = set()
+        #: free slice-lane ids (min-heap so lanes fill lowest-first)
+        self._free_slots: list[int] = list(range(self.config.job_slots))
+        heapq.heapify(self._free_slots)
+        self._launch_order = 0
         self._next_id = 1
         self._submit_index = 0
 
@@ -209,16 +272,24 @@ class JobScheduler:
     # -- the event loop -------------------------------------------------------
 
     def run_all(self) -> list[QueryHandle]:
-        """Drain the queue: admit, interleave, batch, until nothing is left.
+        """Drain the queue: admit, launch onto free slices, complete, repeat.
 
-        A failing query (e.g. an injected ``SimulatedFailure``) is marked
-        failed on its handle — its error re-raises from ``result()`` — and
-        every other query's schedule and results proceed untouched.
+        A failing query (an injected ``SimulatedFailure``, or a real executor
+        error) is marked failed on its handle — its error re-raises from
+        ``result()`` — and every other query's schedule and results proceed
+        untouched.
         """
         finished: list[QueryHandle] = []
         self._admit(finished)
-        while self._running:
-            self._step(finished)
+        while self._running or self._in_flight:
+            launched = self._launch_wave(finished)
+            if launched:
+                continue
+            if not self._in_flight:
+                raise ReproError(
+                    "scheduler wedged: running queries but nothing launchable"
+                )
+            self._complete_next(finished)
         return finished
 
     def _admit(self, finished: list[QueryHandle]) -> None:
@@ -272,22 +343,35 @@ class JobScheduler:
             key=lambda h: (-h.priority, h.ready_since, h.submit_index),
         )
 
-    def _gather_batch(self, leader: QueryHandle) -> list[tuple[QueryHandle, int]]:
-        """The merged-scan party for the leader's pending request.
+    def _first_ready_index(self, handle: QueryHandle) -> int | None:
+        """The lowest unanswered, not-in-flight request index, if any."""
+        for index in range(handle._cursor, len(handle._requests)):
+            if (
+                handle._outcomes[index] is None
+                and (handle.query_id, index) not in self._busy
+            ):
+                return index
+        return None
+
+    def _gather_batch(
+        self, leader: QueryHandle, lead_index: int
+    ) -> list[tuple[QueryHandle, int]]:
+        """The merged-scan party for the leader's ready request.
 
         Eligible mates are consecutive same-dataset requests of the leader's
-        own group, plus every other running query's *next* pending request
+        own group, plus every other running query's *next* ready request
         (never out of order within a query) over the same base dataset.
         """
-        request = leader._pending_request()
-        entries = [(leader, leader._cursor)]
+        request = leader._requests[lead_index]
+        entries = [(leader, lead_index)]
         key = request.batch_key
         if key is None or not self.config.batch_pushdown_scans:
             return entries
-        index = leader._cursor + 1
+        index = lead_index + 1
         while (
             index < len(leader._requests)
             and leader._outcomes[index] is None
+            and (leader.query_id, index) not in self._busy
             and leader._requests[index].batch_key == key
         ):
             entries.append((leader, index))
@@ -295,69 +379,162 @@ class JobScheduler:
         for other in self._service_order():
             if other is leader:
                 continue
-            mate = other._pending_request()
-            if mate.batch_key != key:
+            mate = self._first_ready_index(other)
+            if mate is None or other._requests[mate].batch_key != key:
                 continue
-            entries.append((other, other._cursor))
-            index = other._cursor + 1
+            entries.append((other, mate))
+            index = mate + 1
             while (
                 index < len(other._requests)
                 and other._outcomes[index] is None
+                and (other.query_id, index) not in self._busy
                 and other._requests[index].batch_key == key
             ):
                 entries.append((other, index))
                 index += 1
         return entries
 
-    def _step(self, finished: list[QueryHandle]) -> None:
-        leader = self._service_order()[0]
-        entries = self._gather_batch(leader)
+    # -- launching ------------------------------------------------------------
+
+    def _launch_wave(self, finished: list[QueryHandle]) -> int:
+        """Fill free slots with ready work; returns the number of launches.
+
+        All launches of one wave happen at the same clock instant, and the
+        slice width is an even split of the cluster's partitions across the
+        jobs active once the wave is up (in-flight jobs keep the slice they
+        were launched with) — the full cluster when a job runs alone.
+        """
+        plans: list[list[tuple[QueryHandle, int]]] = []
+        while len(self._in_flight) + len(plans) < self.config.job_slots:
+            ready = self._next_ready()
+            if ready is None:
+                break
+            entries = self._gather_batch(*ready)
+            for handle, index in entries:
+                self._busy.add((handle.query_id, index))
+            plans.append(entries)
+        if not plans:
+            return 0
+        if self.config.job_slots == 1:
+            # Serial schedule: skip the slice view entirely so accounting is
+            # the exact object (and floats) of the pre-space-sharing path.
+            slice_partitions = None
+        else:
+            active = len(self._in_flight) + len(plans)
+            slice_partitions = max(1, self.executor.cluster.partitions // active)
+        for entries in plans:
+            self._launch_job(entries, slice_partitions, finished)
+        return len(plans)
+
+    def _next_ready(self) -> tuple[QueryHandle, int] | None:
+        for handle in self._service_order():
+            index = self._first_ready_index(handle)
+            if index is not None:
+                return handle, index
+        return None
+
+    def _launch_job(
+        self,
+        entries: list[tuple[QueryHandle, int]],
+        slice_partitions: int | None,
+        finished: list[QueryHandle],
+    ) -> None:
         count = len(entries)
         start = self.now
 
-        outcomes: list[JobOutcome] = []
+        performed: list[tuple[QueryHandle, int, JobOutcome]] = []
+        failed: list[QueryHandle] = []
         for position, (handle, index) in enumerate(entries):
+            if handle.status != "running":
+                continue  # an earlier entry of this very handle failed
             share = (position, count) if count > 1 else None
-            outcomes.append(
-                run_request(self.executor, handle._requests[index], share)
-            )
-        duration = sum(outcome.metrics.total_seconds for outcome in outcomes)
+            try:
+                outcome = run_request(
+                    self.executor,
+                    handle._requests[index],
+                    share,
+                    partitions=slice_partitions,
+                )
+            except BaseException as exc:  # executor/operator errors
+                self._fail(handle, exc)
+                failed.append(handle)
+                continue
+            performed.append((handle, index, outcome))
+        for handle in failed:
+            self._busy = {
+                (qid, i) for (qid, i) in self._busy if qid != handle.query_id
+            }
+            if handle in self._running:
+                self._running.remove(handle)
+            finished.append(handle)
+        if not performed:
+            return  # every branch failed before doing chargeable work
+
+        duration = sum(outcome.metrics.total_seconds for _, _, outcome in performed)
 
         participants: list[QueryHandle] = []
         delays: dict[int, float] = {}
-        for handle, _ in entries:
+        for handle, _, _ in performed:
             if handle not in participants:
                 participants.append(handle)
                 delay = start - handle.ready_since
                 handle.queue_delay_seconds += delay
+                handle.ready_since = start
                 if delay > 0.0:
                     delays[handle.query_id] = delay
-        self.now = start + duration
         self.cluster_jobs += 1
         if count > 1:
             self.scans_saved += count - 1
 
-        lead_request = leader._pending_request()
+        lead_handle, lead_index, _ = performed[0]
+        lead_request = lead_handle._requests[lead_index]
         label = (
             lead_request.phase
             if count == 1
             else f"scan[{lead_request.batch_key}] ×{count}"
         )
+        slot = heapq.heappop(self._free_slots)
+        end = start + duration
         self.timeline.record(
             TimelineEvent(
                 label=label,
                 kind=lead_request.kind if count == 1 else "batched-scan",
                 start_seconds=start,
-                end_seconds=self.now,
+                end_seconds=end,
                 queries=tuple(h.query_id for h in participants),
                 batched=count > 1,
                 queue_delays=delays,
+                slot=slot if self.config.job_slots > 1 else 0,
+                slice_partitions=slice_partitions,
             )
         )
+        self._launch_order += 1
+        heapq.heappush(
+            self._in_flight,
+            _InFlightJob(
+                end_seconds=end,
+                order=self._launch_order,
+                start_seconds=start,
+                slot=slot,
+                entries=[(handle, index) for handle, index, _ in performed],
+                outcomes=[outcome for _, _, outcome in performed],
+                participants=participants,
+            ),
+        )
 
-        for (handle, index), outcome in zip(entries, outcomes):
+    # -- completion -----------------------------------------------------------
+
+    def _complete_next(self, finished: list[QueryHandle]) -> None:
+        """Advance the clock to the earliest in-flight completion."""
+        job = heapq.heappop(self._in_flight)
+        self.now = job.end_seconds
+        heapq.heappush(self._free_slots, job.slot)
+        for (handle, index), outcome in zip(job.entries, job.outcomes):
+            self._busy.discard((handle.query_id, index))
             handle._record_outcome(index, outcome)
-        for handle in participants:
+        for handle in job.participants:
+            if handle.status != "running":
+                continue  # failed by a sibling launch while this job flew
             handle.ready_since = self.now
             if not handle._has_pending():
                 self._advance(handle)
@@ -366,14 +543,12 @@ class JobScheduler:
                     finished.append(handle)
         self._admit(finished)
 
-    # -- completion -----------------------------------------------------------
-
     def _finish(self, handle: QueryHandle, result) -> None:
         handle.finished_at = self.now
         handle.status = "done"
         handle._result = result
         if isinstance(result, ExecutionResult):
-            result.schedule = ScheduleInfo(
+            info = ScheduleInfo(
                 query_id=handle.query_id,
                 priority=handle.priority,
                 submitted_at=handle.submitted_at,
@@ -386,14 +561,70 @@ class JobScheduler:
                 queue_delay_seconds=handle.queue_delay_seconds,
                 busy_seconds=result.metrics.total_seconds,
             )
+            result.schedule = info
+            handle.schedule = info
             # Feed the finished run into the owning session's cross-query
             # feedback history (misestimates + spills). Pure observation:
             # it never mutates the result and charges nothing.
             feedback = getattr(handle.session, "feedback", None)
             if feedback is not None:
                 feedback.observe_result(result)
+        self._release_namespace(handle)
 
     def _fail(self, handle: QueryHandle, error: BaseException) -> None:
         handle.finished_at = self.now
         handle.status = "failed"
         handle._error = error
+        # Run the driver's finally-blocks: an executor error leaves the
+        # generator suspended at its yield, and without close() its cleanup
+        # never runs. close() is a no-op for an already-exhausted generator.
+        generator = handle._generator
+        if generator is not None:
+            try:
+                generator.close()
+            except BaseException:
+                pass  # cleanup must never mask the original failure
+        handle.schedule = ScheduleInfo(
+            query_id=handle.query_id,
+            priority=handle.priority,
+            submitted_at=handle.submitted_at,
+            admitted_at=(
+                handle.admitted_at
+                if handle.admitted_at is not None
+                else handle.submitted_at
+            ),
+            finished_at=handle.finished_at,
+            queue_delay_seconds=handle.queue_delay_seconds,
+            busy_seconds=handle.charged_seconds,
+            error=f"{type(error).__name__}: {error}",
+        )
+        self.timeline.record(
+            TimelineEvent(
+                label=f"{handle.label} failed ({type(error).__name__})",
+                kind="failed",
+                start_seconds=self.now,
+                end_seconds=self.now,
+                queries=(handle.query_id,),
+            )
+        )
+        # A checkpoint-carrying failure (SimulatedFailure) keeps its
+        # intermediates: they *are* the Section-8 recovery state that
+        # ``DynamicOptimizer.resume`` continues from. Anything else is
+        # garbage no one can reach — drop it so sustained traffic with
+        # failures cannot grow the session catalogs without bound.
+        if getattr(error, "checkpoint", None) is None:
+            self._release_namespace(handle)
+
+    def _release_namespace(self, handle: QueryHandle) -> None:
+        """Drop the query's ``__q<id>`` intermediates + their statistics."""
+        session = handle.session
+        datasets = getattr(session, "datasets", None)
+        if datasets is None:
+            return
+        statistics = getattr(session, "statistics", None)
+        prefix = f"__q{handle.query_id}__"
+        for name in list(datasets.names()):
+            if name.startswith(prefix):
+                datasets.drop(name)
+                if statistics is not None and statistics.has(name):
+                    statistics.remove(name)

@@ -6,9 +6,11 @@ whether it ran alone or interleaved with others. The scheduler's view is the
 complement: one :class:`TimelineEvent` per cluster job on the *shared*
 simulated clock, tagged with the queries it served, whether it was a merged
 pushdown scan, and how much queueing delay each participant had accrued
-waiting for the slot. Exportable as a Chrome/Perfetto trace with one track
-per query (queueing rendered as explicit ``wait`` events) or as an ASCII
-Gantt-style table.
+waiting for the slot. Under the space-shared executor events may overlap:
+each carries the slot (partition-slice lane) it ran in and the width of its
+slice. Exportable as a Chrome/Perfetto trace with one track per query
+(queueing rendered as explicit ``wait`` events) plus, when space sharing was
+active, one track per slice lane — or as an ASCII Gantt-style table.
 """
 
 from __future__ import annotations
@@ -30,6 +32,12 @@ class TimelineEvent:
     #: queue delay charged to each participant at this event's start
     #: (time between the query's request becoming ready and this start).
     queue_delays: dict[int, float] = field(default_factory=dict)
+    #: partition-slice lane the job ran in (space-shared executor); lane 0
+    #: is the only lane of a serial (``job_slots=1``) schedule.
+    slot: int = 0
+    #: width of the partition slice the job was costed against; ``None``
+    #: for serial schedules (full cluster, pre-space-sharing accounting).
+    slice_partitions: int | None = None
 
     @property
     def duration_seconds(self) -> float:
@@ -49,9 +57,10 @@ class ClusterTimeline:
 
     @property
     def makespan_seconds(self) -> float:
-        """End of the last job — total busy time of the one-job-at-a-time
-        cluster (the clock never idles while work is pending)."""
-        return self.events[-1].end_seconds if self.events else 0.0
+        """End of the last job to finish. Serial schedules never idle while
+        work is pending, so this is also their total busy time; under space
+        sharing events overlap and the makespan is the max end instant."""
+        return max((e.end_seconds for e in self.events), default=0.0)
 
     @property
     def job_count(self) -> int:
@@ -61,11 +70,29 @@ class ClusterTimeline:
     def batched_job_count(self) -> int:
         return sum(1 for event in self.events if event.batched)
 
+    @property
+    def space_shared(self) -> bool:
+        """True when any event ran on an explicit partition slice."""
+        return any(e.slice_partitions is not None for e in self.events)
+
     def queue_delay_of(self, query_id: int) -> float:
         return sum(e.queue_delays.get(query_id, 0.0) for e in self.events)
 
     def events_for(self, query_id: int) -> list[TimelineEvent]:
         return [e for e in self.events if query_id in e.queries]
+
+    def overlapping_pairs(self) -> int:
+        """Count of event pairs whose intervals overlap (concurrency proof)."""
+        count = 0
+        events = self.events
+        for i, left in enumerate(events):
+            for right in events[i + 1 :]:
+                if (
+                    left.start_seconds < right.end_seconds
+                    and right.start_seconds < left.end_seconds
+                ):
+                    count += 1
+        return count
 
     # -- export ---------------------------------------------------------------
 
@@ -74,7 +101,10 @@ class ClusterTimeline:
 
         One ``tid`` per query; merged scans emit one event per participant
         so each query's track shows its share, and queueing shows up as
-        explicit ``wait`` events preceding the job they delayed.
+        explicit ``wait`` events preceding the job they delayed. When the
+        schedule was space-shared, a second process groups the same jobs by
+        slice lane (``pid`` 2, one ``tid`` per slot) so the overlap across
+        partition slices is visible directly.
         """
         import json
 
@@ -95,6 +125,14 @@ class ClusterTimeline:
                             "args": {"for": event.label},
                         }
                     )
+                args = {
+                    "kind": event.kind,
+                    "batched": event.batched,
+                    "queries": list(event.queries),
+                }
+                if event.slice_partitions is not None:
+                    args["slot"] = event.slot
+                    args["slice_partitions"] = event.slice_partitions
                 trace_events.append(
                     {
                         "name": event.label,
@@ -104,9 +142,21 @@ class ClusterTimeline:
                         "dur": event.duration_seconds * 1e6,
                         "pid": 1,
                         "tid": query_id,
+                        "args": args,
+                    }
+                )
+            if event.slice_partitions is not None:
+                trace_events.append(
+                    {
+                        "name": event.label,
+                        "cat": event.kind,
+                        "ph": "X",
+                        "ts": event.start_seconds * 1e6,
+                        "dur": event.duration_seconds * 1e6,
+                        "pid": 2,
+                        "tid": event.slot,
                         "args": {
-                            "kind": event.kind,
-                            "batched": event.batched,
+                            "slice_partitions": event.slice_partitions,
                             "queries": list(event.queries),
                         },
                     }
@@ -114,17 +164,40 @@ class ClusterTimeline:
         return json.dumps({"traceEvents": trace_events, "displayTimeUnit": "ms"})
 
     def render(self) -> str:
-        """ASCII table of the shared timeline (one row per cluster job)."""
-        lines = [
-            f"{'start':>10s} {'end':>10s} {'queries':12s} {'kind':13s} label"
-        ]
+        """ASCII table of the shared timeline (one row per cluster job).
+
+        Serial schedules keep the historical four-column layout; when space
+        sharing was active two extra columns show the slice lane and width.
+        """
+        lanes = self.space_shared
+        if lanes:
+            lines = [
+                f"{'start':>10s} {'end':>10s} {'slot':>4s} {'width':>5s}"
+                f" {'queries':12s} {'kind':13s} label"
+            ]
+        else:
+            lines = [
+                f"{'start':>10s} {'end':>10s} {'queries':12s} {'kind':13s} label"
+            ]
         for event in self.events:
             queries = "+".join(f"q{qid}" for qid in event.queries)
             marker = "*" if event.batched else " "
-            lines.append(
-                f"{event.start_seconds:10.2f} {event.end_seconds:10.2f}"
-                f" {queries:12s} {event.kind:13s}{marker}{event.label}"
-            )
+            if lanes:
+                width = (
+                    f"{event.slice_partitions:5d}"
+                    if event.slice_partitions is not None
+                    else f"{'-':>5s}"
+                )
+                lines.append(
+                    f"{event.start_seconds:10.2f} {event.end_seconds:10.2f}"
+                    f" {event.slot:4d} {width}"
+                    f" {queries:12s} {event.kind:13s}{marker}{event.label}"
+                )
+            else:
+                lines.append(
+                    f"{event.start_seconds:10.2f} {event.end_seconds:10.2f}"
+                    f" {queries:12s} {event.kind:13s}{marker}{event.label}"
+                )
         if any(event.batched for event in self.events):
             lines.append("(* = merged scan serving several queries)")
         return "\n".join(lines)

@@ -49,8 +49,15 @@ class Session:
         udfs: UdfRegistry | None = None,
         cost_parameters: CostParameters | None = None,
         scheduler_config: SchedulerConfig | None = None,
+        job_slots: int | None = None,
     ) -> None:
         self.cluster = cluster or default_cluster()
+        if job_slots is not None:
+            from dataclasses import replace
+
+            scheduler_config = replace(
+                scheduler_config or SchedulerConfig(), job_slots=job_slots
+            )
         self.datasets = DatasetCatalog()
         self.statistics = StatisticsCatalog()
         self.udfs = udfs or default_registry()
@@ -122,14 +129,18 @@ class Session:
         the same code path as concurrent submission — just with nobody to
         contend with (and therefore zero queue delay). Scan batching is
         disabled here even when the query's own pushdown scans share a
-        dataset: a solo run's accounting must match a pre-scheduler run
-        exactly; the merge discount belongs to :meth:`submit`/:meth:`run_all`.
+        dataset, and space sharing is forced off (``job_slots=1``): a solo
+        run owns the full cluster and its accounting must match a
+        pre-scheduler run exactly; merge discounts and partition slices
+        belong to :meth:`submit`/:meth:`run_all`.
         """
         from dataclasses import replace
 
         spec = resolve_planner(planner, optimizer, options, entry="execute")
         config = replace(
-            self.scheduler_config or SchedulerConfig(), batch_pushdown_scans=False
+            self.scheduler_config or SchedulerConfig(),
+            batch_pushdown_scans=False,
+            job_slots=1,
         )
         scheduler = JobScheduler(self.executor, config)
         handle = scheduler.submit(query, spec.make(), self)

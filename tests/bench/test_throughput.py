@@ -1,4 +1,4 @@
-"""Throughput experiment smoke tests: the scheduler must beat serial."""
+"""Throughput experiment smoke tests: batching and space sharing beat serial."""
 
 from repro.bench import format_throughput, run_throughput, throughput_queries
 
@@ -14,11 +14,21 @@ class TestThroughput:
         assert report.seconds_saved > 0.0
         assert len(report.serial_lines) == len(report.concurrent_lines) == 2
 
+    def test_space_sharing_beats_serial(self):
+        report = run_throughput(scale_factor=10, query_count=2, job_slots=2)
+        assert report.job_slots == 2
+        assert report.spaceshared_seconds < report.serial_seconds
+        assert report.spaceshared_seconds_saved > 0.0
+        assert report.spaceshared_scans_saved >= 1
+        assert len(report.spaceshared_lines) == 2
+        assert all(line.error is None for line in report.spaceshared_lines)
+
     def test_report_formats(self):
         report = run_throughput(scale_factor=10, query_count=2)
         text = format_throughput(report)
         assert "multi-query throughput" in text
         assert "serial" in text and "concurrent" in text
+        assert "sliced" in text
         assert "queue-delay" in text
         assert "T1" in text and "T2" in text
 
@@ -34,7 +44,8 @@ class TestThroughputCli:
     def test_cli_smoke(self, capsys):
         from repro.bench.__main__ import main
 
-        assert main(["throughput", "--sf", "10", "--smoke"]) == 0
+        assert main(["throughput", "--sf", "10", "--smoke", "--job-slots", "2"]) == 0
         out = capsys.readouterr().out
         assert "Multi-query throughput" in out
         assert "shared cluster timeline" in out
+        assert "sliced ×2" in out

@@ -105,3 +105,58 @@ class TestParameters:
     def test_defaults_are_frozen(self):
         with pytest.raises(AttributeError):
             CostParameters().cpu_tuple = 1.0
+
+
+class TestPartitionSlices:
+    """with_partitions: the space-shared scheduler's per-job cost view."""
+
+    def test_full_width_slice_is_the_same_object(self, cost):
+        assert cost.with_partitions(cost.cluster.partitions) is cost
+        assert cost.with_partitions(cost.cluster.partitions * 2) is cost
+
+    def test_slice_reports_its_width(self, cost):
+        assert cost.partitions == cost.cluster.partitions
+        assert cost.with_partitions(10).partitions == 10
+
+    def test_partitioned_work_stretches_with_narrower_slice(self, cost):
+        half = cost.with_partitions(cost.cluster.partitions // 2)
+        assert half.scan(10_000, 40) == pytest.approx(2 * cost.scan(10_000, 40))
+        assert half.probe(10_000) == pytest.approx(2 * cost.probe(10_000))
+        assert half.hash_exchange(10_000, 40) == pytest.approx(
+            2 * cost.hash_exchange(10_000, 40)
+        )
+
+    def test_non_scalable_charges_unchanged(self, cost):
+        half = cost.with_partitions(cost.cluster.partitions // 2)
+        assert half.broadcast_exchange(1000, 40) == cost.broadcast_exchange(1000, 40)
+        assert half.broadcast_build(1000) == cost.broadcast_build(1000)
+        assert half.index_lookups(1000) == cost.index_lookups(1000)
+        assert half.job_startup() == cost.job_startup()
+
+    def test_join_memory_shrinks_with_slice(self, cost):
+        half = cost.with_partitions(cost.cluster.partitions // 2)
+        assert half.join_memory_bytes == pytest.approx(cost.join_memory_bytes / 2)
+
+    def test_slice_raises_spill_pressure(self, cost):
+        # A build that fits the full cluster's budget spills on a slice.
+        build = cost.join_memory_bytes * 0.75
+        assert cost.spill(build, build) == 0.0
+        narrow = cost.with_partitions(cost.cluster.partitions // 2)
+        assert narrow.spill(build, build) > 0.0
+
+    def test_slice_keeps_explicit_join_budget_override(self):
+        model = CostModel(default_cluster(), join_budget_bytes=1e6)
+        sliced = model.with_partitions(10)
+        assert sliced.join_budget_bytes == 1e6
+        assert sliced.join_memory_bytes == pytest.approx(1e6 * 10)
+
+    def test_slice_clamped_to_cluster(self, cost):
+        wide = cost.with_partitions(5).with_partitions(10_000)
+        assert wide.partitions == cost.cluster.partitions
+
+    def test_invalid_slice_rejected(self, cost):
+        from repro.common.errors import ReproError
+
+        with pytest.raises(ReproError):
+            CostModel(default_cluster(), partitions=0)
+        assert cost.with_partitions(0).partitions == 1  # clamped, not rejected

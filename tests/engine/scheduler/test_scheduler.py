@@ -189,11 +189,9 @@ class TestConcurrentAdmission:
         session.run_all()
         r1, r2 = (h.result() for h in handles)
         assert r1.rows == r2.rows
-        names = set(session.datasets.names())
-        # Each query materialized its own namespaced intermediates.
-        assert "__q1__join_0" in names
-        assert "__q2__join_0" in names
-        session.reset_intermediates()
+        # Each query materialized into its own __q<id> namespace while it
+        # ran, and the scheduler dropped the namespace when it finished —
+        # sustained traffic must not grow the session catalogs.
         assert not any(n.startswith("__") for n in session.datasets.names())
 
     def test_result_before_run_raises(self):
