@@ -17,8 +17,12 @@ Public entry points:
   four evaluation queries.
 - :mod:`repro.bench` — harness regenerating every table and figure of the
   paper's evaluation section.
+- :mod:`repro.analysis` — static analysis: the plan/job verifier behind the
+  verify-on-compile gate (:class:`repro.Diagnostic` /
+  :class:`repro.PlanVerificationError`) and the engine determinism lint.
 """
 
+from repro.analysis.diagnostics import Diagnostic, PlanVerificationError
 from repro.cluster.config import ClusterConfig, default_cluster
 from repro.core.policy import FeedbackLog, PolicyDecision, ReplanPolicy
 from repro.engine.metrics import ExecutionResult, JobMetrics
@@ -33,10 +37,12 @@ __version__ = "1.1.0"
 
 __all__ = [
     "ClusterConfig",
+    "Diagnostic",
     "ExecutionResult",
     "ExplainReport",
     "FeedbackLog",
     "JobMetrics",
+    "PlanVerificationError",
     "PlannerSpec",
     "PolicyDecision",
     "QueryBuilder",

@@ -16,9 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.algebra.plan import JoinNode, LeafNode, PlanNode
 from repro.cluster.config import ClusterConfig
 from repro.cluster.cost import CostModel
-from repro.algebra.plan import JoinNode, LeafNode, PlanNode
 from repro.common.errors import PlanError
 from repro.engine.operators.joins import JoinAlgorithm
 from repro.stats.catalog import StatisticsCatalog
@@ -95,7 +95,9 @@ class PlanEstimator:
         build = self.estimate(node.build)
         probe = self.estimate(node.probe)
         divisor = 1.0
-        for build_key, probe_key in zip(node.build_keys, node.probe_keys):
+        for build_key, probe_key in zip(
+            node.build_keys, node.probe_keys, strict=False
+        ):
             u_build = self.column_distinct(node.build, build_key, build.rows)
             u_probe = self.column_distinct(node.probe, probe_key, probe.rows)
             if self.composite_rule == "product":

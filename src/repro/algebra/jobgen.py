@@ -132,7 +132,12 @@ def build_final_job(plan: PlanNode, query: Query, datasets: DatasetCatalog) -> J
         op = ProjectOp(op, query.select)
     if query.limit is not None:
         op = LimitOp(op, query.limit)
-    return Job(DistributeResultOp(op), label=f"final {plan.describe()}", phase="final")
+    return Job(
+        DistributeResultOp(op),
+        label=f"final {plan.describe()}",
+        phase="final",
+        plan=plan,
+    )
 
 
 def build_sink_job(
@@ -146,7 +151,7 @@ def build_sink_job(
     """An intermediate job whose output is materialized for later stages."""
     op = compile_plan(plan, datasets, set(keep_columns) | set(stats_columns))
     sink = SinkOp(op, name, keep_columns, stats_columns)
-    return Job(sink, label=f"{name} = {plan.describe()}", phase=phase)
+    return Job(sink, label=f"{name} = {plan.describe()}", phase=phase, plan=plan)
 
 
 def build_pushdown_job(

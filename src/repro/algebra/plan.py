@@ -66,6 +66,12 @@ class JoinNode(PlanNode):
     probe_keys: tuple[str, ...]
     algorithm: JoinAlgorithm = JoinAlgorithm.HASH
     estimated_rows: float = field(default=0.0, compare=False)
+    #: Modeled byte size of the build side at the moment the algorithm was
+    #: chosen (``PlannerToolkit.make_join``). The plan verifier replays the
+    #: broadcast-budget decision from this record: the statistics behind it
+    #: (measured intermediates, pilot samples) may no longer exist by the
+    #: time the plan is verified or executed. ``-1`` = not recorded.
+    decided_build_bytes: float = field(default=-1.0, compare=False)
 
     @property
     def aliases(self) -> frozenset:
@@ -81,7 +87,7 @@ class JoinNode(PlanNode):
     def leaves(self) -> list[LeafNode]:
         return self.build.leaves() + self.probe.leaves()
 
-    def with_algorithm(self, algorithm: JoinAlgorithm) -> "JoinNode":
+    def with_algorithm(self, algorithm: JoinAlgorithm) -> JoinNode:
         return replace(self, algorithm=algorithm)
 
 

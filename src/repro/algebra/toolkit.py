@@ -256,6 +256,9 @@ class PlannerToolkit:
             probe_keys=probe_keys,
             algorithm=algorithm or JoinAlgorithm.HASH,
             estimated_rows=estimated_rows,
+            decided_build_bytes=(
+                left_side if build_is_left else right_side
+            ).byte_size,
         )
 
     def conditions_across(

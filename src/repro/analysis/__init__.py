@@ -1,0 +1,70 @@
+"""Static analysis: plan/job verification and the engine determinism lint.
+
+Two tools live here, both producing typed :class:`Diagnostic` records with
+stable rule codes (DESIGN.md §9):
+
+- the **plan/job verifier** (:mod:`repro.analysis.verifier`, rules
+  ``P001``–``P007``) proves structural invariants of compiled jobs *before*
+  they launch — the runtime dynamic driver compiles a fresh plan at every
+  re-optimization point, so a plan bug would otherwise surface mid-query
+  after simulated hours of work;
+- the **determinism lint** (:mod:`repro.analysis.lint`, rules
+  ``D001``–``D004``) is an AST pass over the engine source enforcing the
+  simulated-clock / seeded-RNG / ordered-iteration rules the scheduler's
+  byte-identity guarantees depend on.
+
+The verifier is wired into :func:`repro.engine.scheduler.request.run_request`
+as a verify-on-compile gate (:mod:`repro.analysis.runtime`); it is on by
+default and opted out per session via ``Session(verify_plans=False)``.
+"""
+
+from repro.analysis.diagnostics import (
+    LINT_RULES,
+    PLAN_RULES,
+    RULES,
+    Diagnostic,
+    PlanVerificationError,
+)
+
+# The remaining re-exports resolve lazily: the verifier imports the algebra
+# and operator modules, which import the engine package, which imports
+# repro.analysis.runtime for the gate — an eager import here would re-enter
+# this package while it is still initializing. Lazy resolution also keeps
+# ``python -m repro.analysis.lint`` free of runpy's double-import warning.
+_LAZY = {
+    "lint_paths": "repro.analysis.lint",
+    "lint_source": "repro.analysis.lint",
+    "VerifierStats": "repro.analysis.runtime",
+    "verify_before_launch": "repro.analysis.runtime",
+    "RULES_CHECKED_PER_JOB": "repro.analysis.verifier",
+    "verify_job": "repro.analysis.verifier",
+    "verify_plan": "repro.analysis.verifier",
+}
+
+
+def __getattr__(name: str) -> object:
+    if name in _LAZY:
+        from importlib import import_module
+
+        return getattr(import_module(_LAZY[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))
+
+
+__all__ = [
+    "LINT_RULES",
+    "PLAN_RULES",
+    "RULES",
+    "RULES_CHECKED_PER_JOB",
+    "Diagnostic",
+    "PlanVerificationError",
+    "VerifierStats",
+    "lint_paths",
+    "lint_source",
+    "verify_before_launch",
+    "verify_job",
+    "verify_plan",
+]

@@ -1,0 +1,88 @@
+"""Typed diagnostics shared by the plan verifier and the determinism lint.
+
+Every finding is a :class:`Diagnostic` carrying a stable rule code. Codes are
+part of the public contract (tests assert them, CI greps them, DESIGN.md §9
+tabulates them): ``P…`` codes come from the plan/job verifier, ``D…`` codes
+from the source-level determinism lint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import PlanError
+
+#: Plan/job verifier rules (structural invariants of compiled jobs).
+PLAN_RULES: dict[str, str] = {
+    "P001": "dangling-column",
+    "P002": "reader-missing-intermediate",
+    "P003": "bad-phase-tail",
+    "P004": "join-key-type-mismatch",
+    "P005": "broadcast-over-budget",
+    "P006": "cartesian-join",
+    "P007": "duplicate-output-column",
+}
+
+#: Determinism lint rules (AST invariants of the engine source).
+LINT_RULES: dict[str, str] = {
+    "D001": "wall-clock-in-engine-code",
+    "D002": "bare-random",
+    "D003": "unordered-set-iteration",
+    "D004": "queue-delay-in-jobmetrics",
+}
+
+#: All rule codes -> short rule names.
+RULES: dict[str, str] = {**PLAN_RULES, **LINT_RULES}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a stable rule code plus a human-readable message.
+
+    ``job_label``/``phase`` locate verifier findings inside an execution;
+    ``path``/``line`` locate lint findings inside the source tree. Either
+    group may be empty depending on which tool produced the record.
+    """
+
+    code: str
+    message: str
+    job_label: str = ""
+    phase: str = ""
+    path: str = ""
+    line: int = 0
+    severity: str = "error"
+
+    @property
+    def rule(self) -> str:
+        """Short rule name for the code (e.g. ``dangling-column``)."""
+        return RULES.get(self.code, "unknown-rule")
+
+    def render(self) -> str:
+        where = ""
+        if self.path:
+            where = f" {self.path}:{self.line}" if self.line else f" {self.path}"
+        elif self.job_label:
+            where = f" [{self.job_label}]"
+        return f"{self.code} {self.rule}{where}: {self.message}"
+
+
+class PlanVerificationError(PlanError):
+    """A compiled job failed verification; carries the full diagnostics.
+
+    Raised by the verify-on-compile gate before the offending job launches,
+    so a broken plan costs zero simulated seconds. ``diagnostics`` preserves
+    every finding (a job can violate several rules at once).
+    """
+
+    def __init__(
+        self, diagnostics: tuple[Diagnostic, ...] | list[Diagnostic], job_label: str = ""
+    ) -> None:
+        self.diagnostics: tuple[Diagnostic, ...] = tuple(diagnostics)
+        self.job_label = job_label
+        codes = ", ".join(d.code for d in self.diagnostics) or "no diagnostics"
+        label = f" for job {job_label!r}" if job_label else ""
+        detail = "; ".join(d.render() for d in self.diagnostics)
+        super().__init__(f"plan verification failed{label} ({codes}): {detail}")
+
+    def codes(self) -> tuple[str, ...]:
+        return tuple(d.code for d in self.diagnostics)

@@ -1,0 +1,445 @@
+"""Engine determinism lint: AST rules the byte-identity guarantees rest on.
+
+The scheduler's contract (DESIGN.md §7) is that a query's rows, plan,
+phases, metrics and simulated seconds are schedule-independent, and that
+``job_slots=1`` reproduces the serial schedule byte for byte. Those
+guarantees hold only if the engine itself is deterministic: no wall-clock
+reads, no unseeded randomness, no iteration over unordered containers in
+planning/scheduling paths, and no queue-delay leakage into per-query
+:class:`~repro.engine.metrics.JobMetrics`. This module enforces exactly
+that, as an AST pass over ``src/repro``:
+
+========  ============================  =============================================
+code      rule                          invariant
+========  ============================  =============================================
+``D001``  wall-clock-in-engine-code     no ``time.time``/``datetime.now``-family
+                                        calls outside ``common/rng.py`` and
+                                        ``analysis/`` (the verifier's wall-time
+                                        overhead meter is host-side, never simulated)
+``D002``  bare-random                   the ``random`` module only via
+                                        ``common/rng.py``'s seeded derivation
+``D003``  unordered-set-iteration       no ``for``/comprehension iteration over
+                                        set-typed values in planner/optimizer/
+                                        scheduler hot paths unless wrapped in an
+                                        order-insensitive reducer (``sorted`` & co.)
+``D004``  queue-delay-in-jobmetrics     queue delay lives on ``ScheduleInfo``/the
+                                        timeline, never inside ``JobMetrics``
+========  ============================  =============================================
+
+``# det: allow(D00x)`` on the offending line suppresses a finding (used for
+reviewed exceptions). Dict iteration is deliberately *not* flagged: Python
+dicts preserve insertion order, which the planners rely on.
+
+Run from the command line (CI's ``analysis`` job does)::
+
+    PYTHONPATH=src python -m repro.analysis.lint          # lints src/repro
+    PYTHONPATH=src python -m repro.analysis.lint path/    # or explicit paths
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+
+#: Path fragments (relative to the linted root, ``/``-separated) exempt from
+#: the wall-clock and randomness rules.
+CLOCK_EXEMPT = ("common/rng.py", "analysis/")
+RANDOM_EXEMPT = ("common/rng.py",)
+
+#: D003 applies only inside planner/optimizer/scheduler hot paths — the code
+#: whose iteration order feeds plan choices and schedules.
+HOT_PATHS = ("core/", "optimizers/", "algebra/", "engine/scheduler/")
+
+#: Wall-clock functions of the ``time`` module (D001).
+WALLCLOCK_TIME_FUNCS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+#: Wall-clock constructors of ``datetime``/``date`` objects (D001).
+WALLCLOCK_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+#: Functions/attributes known to return sets (D003 provenance seeds).
+SET_RETURNING_CALLS = frozenset(
+    {
+        "set",
+        "frozenset",
+        "leaf_provides",
+        "node_provides",
+        "join_columns_of",
+        "columns_of",
+        "query_required_columns",
+    }
+)
+# NOTE: no attribute-name heuristic here on purpose. An earlier draft seeded
+# provenance from ``.aliases`` (PlanNode.aliases is a frozenset) but the AST
+# cannot tell it apart from Query.aliases — a tuple in FROM order — and the
+# false-positive rate swamped the one real finding. D003 trusts only
+# structural provenance: literals, known set-returning calls, annotations,
+# and set-algebra expressions.
+
+#: Order-insensitive consumers: iterating a set directly inside these is fine.
+ORDER_INSENSITIVE_CALLS = frozenset(
+    {"sorted", "min", "max", "len", "sum", "any", "all", "set", "frozenset"}
+)
+
+_PRAGMA = re.compile(r"#\s*det:\s*allow\(\s*(D\d{3})\s*\)")
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
+    """Lint one module's source; ``path`` selects which rules apply."""
+    tree = ast.parse(source, filename=path)
+    normalized = path.replace("\\", "/")
+    allowed = _pragma_lines(source)
+    findings: list[Diagnostic] = []
+
+    if not _exempt(normalized, CLOCK_EXEMPT):
+        findings.extend(_check_wall_clock(tree, normalized))
+    if not _exempt(normalized, RANDOM_EXEMPT):
+        findings.extend(_check_bare_random(tree, normalized))
+    if any(fragment in normalized for fragment in HOT_PATHS):
+        findings.extend(_check_set_iteration(tree, normalized))
+    findings.extend(_check_queue_delay(tree, normalized))
+
+    return [
+        finding
+        for finding in findings
+        if finding.code not in allowed.get(finding.line, frozenset())
+    ]
+
+
+def lint_paths(paths: list[Path] | None = None) -> list[Diagnostic]:
+    """Lint every ``.py`` file under the given roots (default: ``repro``)."""
+    if not paths:
+        paths = [Path(__file__).resolve().parents[1]]
+    findings: list[Diagnostic] = []
+    for root in paths:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        base = root if root.is_dir() else root.parent
+        for file in files:
+            rel = file.relative_to(base).as_posix()
+            findings.extend(lint_source(file.read_text(), rel))
+    return findings
+
+
+def _pragma_lines(source: str) -> dict[int, frozenset[str]]:
+    allowed: dict[int, frozenset[str]] = {}
+    for number, line in enumerate(source.splitlines(), start=1):
+        codes = frozenset(_PRAGMA.findall(line))
+        if codes:
+            allowed[number] = codes
+    return allowed
+
+
+def _exempt(path: str, fragments: tuple[str, ...]) -> bool:
+    return any(fragment in path for fragment in fragments)
+
+
+# -- D001: wall clock ----------------------------------------------------------
+
+
+class _ImportTracker(ast.NodeVisitor):
+    """Track which local names refer to ``time``/``datetime``/``random``."""
+
+    def __init__(self) -> None:
+        self.time_modules: set[str] = set()
+        self.time_functions: set[str] = set()
+        self.datetime_modules: set[str] = set()
+        self.datetime_types: set[str] = set()
+        self.random_names: set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            if alias.name == "time":
+                self.time_modules.add(local)
+            elif alias.name == "datetime":
+                self.datetime_modules.add(local)
+            elif alias.name == "random" or alias.name.startswith("random."):
+                self.random_names.add(local)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in WALLCLOCK_TIME_FUNCS:
+                    self.time_functions.add(alias.asname or alias.name)
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date"):
+                    self.datetime_types.add(alias.asname or alias.name)
+        elif node.module == "random":
+            for alias in node.names:
+                self.random_names.add(alias.asname or alias.name)
+
+
+def _check_wall_clock(tree: ast.Module, path: str) -> list[Diagnostic]:
+    imports = _ImportTracker()
+    imports.visit(tree)
+    findings: list[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in imports.time_functions:
+            findings.append(_source_diag("D001", func.id, node, path))
+        elif isinstance(func, ast.Attribute):
+            value = func.value
+            if (
+                isinstance(value, ast.Name)
+                and value.id in imports.time_modules
+                and func.attr in WALLCLOCK_TIME_FUNCS
+            ):
+                findings.append(
+                    _source_diag("D001", f"{value.id}.{func.attr}", node, path)
+                )
+            elif func.attr in WALLCLOCK_DATETIME_FUNCS and _is_datetime_ref(
+                value, imports
+            ):
+                findings.append(
+                    _source_diag(
+                        "D001", f"{ast.unparse(value)}.{func.attr}", node, path
+                    )
+                )
+    return findings
+
+
+def _is_datetime_ref(value: ast.expr, imports: _ImportTracker) -> bool:
+    if isinstance(value, ast.Name):
+        return value.id in imports.datetime_types
+    if isinstance(value, ast.Attribute):
+        return (
+            isinstance(value.value, ast.Name)
+            and value.value.id in imports.datetime_modules
+            and value.attr in ("datetime", "date")
+        )
+    return False
+
+
+def _source_diag(code: str, what: str, node: ast.AST, path: str) -> Diagnostic:
+    messages = {
+        "D001": f"wall-clock call {what}() in engine code — the engine runs "
+        "on the simulated clock (JobMetrics), never the host's",
+        "D002": f"direct use of the random module ({what}) — derive seeded "
+        "generators through repro.common.rng instead",
+        "D003": f"iteration over a set-typed value ({what}) in a "
+        "planner/scheduler hot path — wrap in sorted() or an "
+        "order-insensitive reducer",
+        "D004": f"queue delay written into JobMetrics ({what}) — waiting "
+        "belongs on ScheduleInfo/the timeline, never in per-query metrics",
+    }
+    return Diagnostic(
+        code=code,
+        message=messages[code],
+        path=path,
+        line=getattr(node, "lineno", 0),
+    )
+
+
+# -- D002: bare random ---------------------------------------------------------
+
+
+def _check_bare_random(tree: ast.Module, path: str) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    findings.append(
+                        _source_diag("D002", f"import {alias.name}", node, path)
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.module == "random":
+            names = ", ".join(alias.name for alias in node.names)
+            findings.append(
+                _source_diag("D002", f"from random import {names}", node, path)
+            )
+    return findings
+
+
+# -- D003: unordered set iteration ---------------------------------------------
+
+
+class _SetIterationChecker(ast.NodeVisitor):
+    """Flag iteration over set-typed expressions outside ordered wrappers.
+
+    Set provenance is inferred locally: set literals/comprehensions,
+    ``set()``/``frozenset()`` calls, calls of known set-returning helpers,
+    set-algebra operators over set-typed operands, and names assigned from
+    any of those. The inference is deliberately coarse — it is a lint, not a
+    type checker — but it is exactly precise enough to catch the bug class
+    (nondeterministic plan/schedule choices from hash-order iteration).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: list[Diagnostic] = []
+        self.set_names: set[str] = set()
+        self._safe_exprs: set[int] = set()
+
+    # - provenance -
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else ""
+            )
+            return name in SET_RETURNING_CALLS
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)
+        ):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.set_names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        annotation = ast.unparse(node.annotation)
+        if isinstance(node.target, ast.Name) and (
+            annotation.startswith(("set", "frozenset"))
+            or (node.value is not None and self._is_set_expr(node.value))
+        ):
+            self.set_names.add(node.target.id)
+        self.generic_visit(node)
+
+    # - safe wrappers -
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ORDER_INSENSITIVE_CALLS:
+            for arg in node.args:
+                self._safe_exprs.add(id(arg))
+                if isinstance(arg, ast.GeneratorExp):
+                    for comprehension in arg.generators:
+                        self._safe_exprs.add(id(comprehension.iter))
+        self.generic_visit(node)
+
+    # - iteration sites -
+
+    def visit_For(self, node: ast.For) -> None:
+        self._flag_if_set(node.iter, node)
+        self.generic_visit(node)
+
+    def _visit_comprehension(
+        self, node: ast.ListComp | ast.GeneratorExp | ast.DictComp
+    ) -> None:
+        for comprehension in node.generators:
+            self._flag_if_set(comprehension.iter, node)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    # SetComp output is itself unordered: iteration order cannot leak.
+
+    def _flag_if_set(self, iterable: ast.expr, site: ast.AST) -> None:
+        if id(iterable) in self._safe_exprs or id(site) in self._safe_exprs:
+            return
+        if self._is_set_expr(iterable):
+            self.findings.append(
+                _source_diag("D003", ast.unparse(iterable), site, self.path)
+            )
+
+
+def _check_set_iteration(tree: ast.Module, path: str) -> list[Diagnostic]:
+    checker = _SetIterationChecker(path)
+    checker.visit(tree)
+    return checker.findings
+
+
+# -- D004: queue delay in JobMetrics -------------------------------------------
+
+
+_METRICS_BASES = ("metrics", "cumulative")
+_DELAY_PATTERN = re.compile(r"queue|delay", re.IGNORECASE)
+
+
+def _check_queue_delay(tree: ast.Module, path: str) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "JobMetrics":
+            for statement in node.body:
+                target = None
+                if isinstance(statement, ast.AnnAssign) and isinstance(
+                    statement.target, ast.Name
+                ):
+                    target = statement.target.id
+                elif isinstance(statement, ast.Assign) and isinstance(
+                    statement.targets[0], ast.Name
+                ):
+                    target = statement.targets[0].id
+                if target and _DELAY_PATTERN.search(target):
+                    findings.append(
+                        _source_diag(
+                            "D004", f"JobMetrics.{target}", statement, path
+                        )
+                    )
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and "queue_delay" in target.attr
+                    and isinstance(target.value, ast.Name)
+                    and any(
+                        base in target.value.id.lower()
+                        for base in _METRICS_BASES
+                    )
+                ):
+                    findings.append(
+                        _source_diag(
+                            "D004",
+                            f"{target.value.id}.{target.attr}",
+                            node,
+                            path,
+                        )
+                    )
+    return findings
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Engine determinism lint (rules D001-D004).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    args = parser.parse_args(argv)
+    findings = lint_paths(list(args.paths))
+    for finding in findings:
+        print(finding.render())
+    print(f"determinism lint: {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,105 @@
+"""The verify-on-compile gate: run the verifier before every job launches.
+
+:func:`verify_before_launch` is called from
+:func:`repro.engine.scheduler.request.run_request` — the single place a
+:class:`~repro.engine.scheduler.request.JobRequest` turns into executed work
+— so both the synchronous pump and the concurrent scheduler pass through the
+same gate. Verification:
+
+- charges **zero simulated seconds** (it never touches
+  :class:`~repro.engine.metrics.JobMetrics` or the clock, so schedules,
+  timelines and metrics are byte-identical with the verifier on or off);
+- accounts its real (host) wall time on the executor's
+  :class:`VerifierStats` — the overhead number ``python -m repro.bench
+  verify`` reports;
+- records what it checked in the query trace (deterministic content only);
+- raises :class:`~repro.analysis.diagnostics.PlanVerificationError` carrying
+  every diagnostic when the job is broken, *before* the job runs.
+
+``Session(verify_plans=False)`` opts a session out (the executor skips the
+gate entirely).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Host-side overhead accounting for the bench report; the simulated clock
+# (JobMetrics) is never involved.  # det: allow(D001)
+from time import perf_counter
+from typing import TYPE_CHECKING
+
+from repro.analysis.diagnostics import Diagnostic, PlanVerificationError
+
+if TYPE_CHECKING:
+    from repro.engine.executor import Executor
+    from repro.engine.scheduler.request import JobRequest
+
+
+@dataclass
+class VerifierStats:
+    """Aggregate gate accounting on one executor (host wall time, not simulated)."""
+
+    jobs_verified: int = 0
+    diagnostics_found: int = 0
+    wall_seconds: float = 0.0
+
+    def record(self, seconds: float, diagnostics: int) -> None:
+        self.jobs_verified += 1
+        self.diagnostics_found += diagnostics
+        self.wall_seconds += seconds
+
+    def snapshot(self) -> VerifierStats:
+        return VerifierStats(
+            jobs_verified=self.jobs_verified,
+            diagnostics_found=self.diagnostics_found,
+            wall_seconds=self.wall_seconds,
+        )
+
+    def since(self, before: VerifierStats) -> VerifierStats:
+        """Delta relative to an earlier :meth:`snapshot` (bench accounting)."""
+        return VerifierStats(
+            jobs_verified=self.jobs_verified - before.jobs_verified,
+            diagnostics_found=self.diagnostics_found - before.diagnostics_found,
+            wall_seconds=self.wall_seconds - before.wall_seconds,
+        )
+
+
+def verify_before_launch(executor: Executor, request: JobRequest) -> None:
+    """Verify ``request.job`` against the executor's catalogs; raise on findings.
+
+    Uses ``request.statistics`` (the driver's working catalog — the exact
+    statistics the planner saw, including pilot-run per-alias overrides) for
+    the estimate-based checks, falling back to the session catalog for
+    requests that never fork one.
+    """
+    job = request.job
+    if job is None or not getattr(executor, "verify_plans", True):
+        return
+    # Imported lazily: the verifier pulls in the algebra/operator modules,
+    # which import the engine package, which imports this module — keeping
+    # runtime.py light breaks that cycle at package-init time.
+    from repro.analysis.verifier import RULES_CHECKED_PER_JOB, verify_job
+
+    started = perf_counter()  # det: allow(D001)
+    diagnostics: list[Diagnostic] = verify_job(
+        job,
+        executor.datasets,
+        statistics=(
+            request.statistics
+            if request.statistics is not None
+            else executor.statistics
+        ),
+        cluster=executor.cluster,
+        cost=executor.cost,
+    )
+    executor.verifier_stats.record(perf_counter() - started, len(diagnostics))
+    if request.tracer is not None:
+        request.tracer.record_verification(
+            phase=request.phase,
+            job_label=job.label,
+            rules_checked=RULES_CHECKED_PER_JOB,
+            codes=tuple(d.code for d in diagnostics),
+        )
+    if diagnostics:
+        raise PlanVerificationError(diagnostics, job_label=job.label)

@@ -35,6 +35,14 @@ from repro.bench.throughput import (
     run_throughput,
     throughput_queries,
 )
+from repro.bench.verify import (
+    VERIFY_OPTIMIZERS,
+    VerifyRow,
+    format_verify,
+    run_verify,
+    verify_cell,
+    verify_ok,
+)
 
 __all__ = [
     "COMPARISON_OPTIMIZERS",
@@ -46,6 +54,8 @@ __all__ = [
     "QUERIES",
     "SCALE_FACTORS",
     "ThroughputReport",
+    "VERIFY_OPTIMIZERS",
+    "VerifyRow",
     "clear_cache",
     "comparison_row",
     "figure6",
@@ -56,12 +66,16 @@ __all__ = [
     "format_reports",
     "format_rows",
     "format_throughput",
+    "format_verify",
     "improvement_rows",
     "overhead_report",
     "plan_matrix",
     "run_query",
     "run_throughput",
+    "run_verify",
     "throughput_queries",
+    "verify_cell",
+    "verify_ok",
     "workbench",
     "workbench_for_query",
 ]

@@ -19,6 +19,7 @@ from repro.bench import (
     runner,
     table1,
     throughput,
+    verify,
 )
 
 EXPERIMENTS = (
@@ -30,6 +31,7 @@ EXPERIMENTS = (
     "qerror",
     "throughput",
     "feedback",
+    "verify",
 )
 
 
@@ -117,6 +119,16 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
         print()
+    failed = False
+    if "verify" in chosen:
+        print("=== Verifier sweep: every strategy must compile clean jobs ===")
+        verify_sfs = (
+            tuple(args.sf) if args.sf else ((10,) if args.smoke else (10, 100))
+        )
+        verify_rows = verify.run_verify(verify_sfs, seed=args.seed)
+        print(verify.format_verify(verify_rows))
+        print()
+        failed = failed or not verify.verify_ok(verify_rows)
     if "plans" in chosen:
         print("=== Appendix: plans generated per optimizer (Figures 11-23) ===")
         print(plans.format_matrix(plans.plan_matrix(comparison_sfs, seed=args.seed)))
@@ -125,7 +137,7 @@ def main(argv: list[str] | None = None) -> int:
                 plans.plan_matrix(comparison_sfs, inl_enabled=True, seed=args.seed)
             )
         )
-    return 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

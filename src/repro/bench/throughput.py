@@ -28,12 +28,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.bench.runner import workbench
 from repro.engine.scheduler import JobScheduler, QueryHandle, SchedulerConfig
 from repro.lang.ast import Query
 from repro.lang.builder import QueryBuilder
 from repro.optimizers import make_optimizer
-
-from repro.bench.runner import workbench
 
 
 def throughput_queries(count: int = 4) -> list[tuple[str, Query]]:
@@ -142,7 +141,7 @@ def _lines_for(handles: list[QueryHandle]) -> list[QueryLine]:
 
 
 def _check_rows(reference: list[QueryLine], lines: list[QueryLine], mode: str) -> None:
-    for expected, actual in zip(reference, lines):
+    for expected, actual in zip(reference, lines, strict=True):
         if actual.error is not None:
             continue
         if expected.rows != actual.rows:

@@ -1,0 +1,145 @@
+"""Verifier sweep: every strategy x evaluation query must verify clean.
+
+``python -m repro.bench verify`` runs all registered optimization strategies
+over the paper's four evaluation queries with the verify-on-compile gate
+active (it is on by default) and reports, per combination, how many jobs the
+:mod:`repro.analysis` verifier checked and what its host-side wall-time
+overhead was. The sweep asserts **zero diagnostics**: any
+:class:`~repro.analysis.diagnostics.PlanVerificationError` means a strategy
+compiled a structurally broken job — a reproduction bug, not a data point —
+so the row is tabulated as FAILED and the experiment exits non-zero.
+
+Verification charges zero *simulated* seconds (schedules and metrics are
+byte-identical with the gate on or off); the overhead column is real host
+time, the only currency the verifier spends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Host-side wall time: the verifier's overhead is real time, not simulated
+# time, so the bench must measure it with a real clock.  # det: allow(D001)
+from time import perf_counter
+
+from repro.analysis.diagnostics import PlanVerificationError
+from repro.bench.runner import QUERIES, run_query, workbench_for_query
+from repro.optimizers import OPTIMIZERS
+
+#: the verifier sweep covers every registered strategy, not just the
+#: Figure 7 comparison set — greedy_static and from_order included.
+VERIFY_OPTIMIZERS = tuple(sorted(OPTIMIZERS))
+
+
+@dataclass(frozen=True)
+class VerifyRow:
+    """One (query, scale factor, strategy) sweep cell."""
+
+    query: str
+    scale_factor: int
+    optimizer: str
+    jobs_verified: int
+    diagnostics: tuple[str, ...]
+    verifier_seconds: float
+    host_seconds: float
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+
+def verify_cell(
+    label: str, scale_factor: int, optimizer: str, seed: int = 42
+) -> VerifyRow:
+    """Run one query under one strategy and account the gate's work."""
+    bench = workbench_for_query(label, scale_factor, seed)
+    stats = bench.session.executor.verifier_stats
+    before = stats.snapshot()
+    started = perf_counter()  # det: allow(D001)
+    diagnostics: tuple[str, ...] = ()
+    try:
+        run_query(label, scale_factor, optimizer, seed=seed)
+    except PlanVerificationError as error:
+        diagnostics = error.codes()
+    host_seconds = perf_counter() - started  # det: allow(D001)
+    delta = stats.since(before)
+    return VerifyRow(
+        query=label,
+        scale_factor=scale_factor,
+        optimizer=optimizer,
+        jobs_verified=delta.jobs_verified,
+        diagnostics=diagnostics,
+        verifier_seconds=delta.wall_seconds,
+        host_seconds=host_seconds,
+    )
+
+
+def run_verify(
+    scale_factors=(10, 100),
+    queries: tuple[str, ...] | None = None,
+    optimizers: tuple[str, ...] = VERIFY_OPTIMIZERS,
+    seed: int = 42,
+) -> list[VerifyRow]:
+    """The full sweep: every strategy x query x scale factor."""
+    rows = []
+    for scale_factor in scale_factors:
+        for label in queries or tuple(QUERIES):
+            for optimizer in optimizers:
+                rows.append(verify_cell(label, scale_factor, optimizer, seed))
+    return rows
+
+
+def verify_ok(rows: list[VerifyRow]) -> bool:
+    return all(row.clean for row in rows)
+
+
+def format_verify(rows: list[VerifyRow]) -> str:
+    """Tabulate the sweep with per-cell and aggregate overhead numbers."""
+    lines = []
+    groups: dict[tuple[int, str], list[VerifyRow]] = {}
+    for row in rows:
+        groups.setdefault((row.scale_factor, row.query), []).append(row)
+    for (scale_factor, query), group in sorted(groups.items()):
+        lines.append(f"{query} @ SF {scale_factor} — verify-on-compile sweep")
+        lines.append(
+            f"  {'optimizer':14s} {'jobs':>5s} {'verdict':>10s}"
+            f" {'verifier':>10s} {'of run':>7s}"
+        )
+        for row in group:
+            verdict = "clean" if row.clean else "FAILED " + ",".join(
+                row.diagnostics
+            )
+            share = (
+                row.verifier_seconds / row.host_seconds
+                if row.host_seconds > 0
+                else 0.0
+            )
+            lines.append(
+                f"  {row.optimizer:14s} {row.jobs_verified:5d} {verdict:>10s}"
+                f" {row.verifier_seconds * 1e3:8.2f}ms {share:6.1%}"
+            )
+    total_jobs = sum(row.jobs_verified for row in rows)
+    total_verifier = sum(row.verifier_seconds for row in rows)
+    total_host = sum(row.host_seconds for row in rows)
+    dirty = [row for row in rows if not row.clean]
+    lines.append(
+        f"total: {total_jobs} job(s) verified across {len(rows)} run(s) in "
+        f"{total_verifier * 1e3:.1f}ms host time"
+        + (
+            f" ({total_verifier / total_host:.1%} of {total_host:.2f}s)"
+            if total_host > 0
+            else ""
+        )
+    )
+    if dirty:
+        lines.append(
+            "FAILED: "
+            + "; ".join(
+                f"{row.query}/sf{row.scale_factor}/{row.optimizer}: "
+                + ",".join(row.diagnostics)
+                for row in dirty
+            )
+        )
+    else:
+        lines.append("all runs verified clean (0 diagnostics)")
+    return "\n".join(lines)

@@ -83,7 +83,7 @@ class CostModel:
             return self._partitions
         return self.cluster.partitions
 
-    def with_partitions(self, partitions: int) -> "CostModel":
+    def with_partitions(self, partitions: int) -> CostModel:
         """A view of this model restricted to a ``partitions``-wide slice.
 
         Returns ``self`` unchanged for a full-width slice so serial

@@ -72,7 +72,7 @@ class Schema:
                 raise SchemaError(f"primary key field {key!r} not in schema")
 
     @classmethod
-    def of(cls, *pairs: tuple[str, DataType], primary_key: tuple[str, ...] = ()) -> "Schema":
+    def of(cls, *pairs: tuple[str, DataType], primary_key: tuple[str, ...] = ()) -> Schema:
         """Build a schema from ``(name, dtype)`` pairs."""
         return cls(tuple(Field(name, dtype) for name, dtype in pairs), primary_key)
 
@@ -94,7 +94,7 @@ class Schema:
         """Estimated serialized bytes per row (cost-model input)."""
         return sum(f.dtype.byte_width for f in self.fields) + 8  # header
 
-    def project(self, names: list[str] | tuple[str, ...]) -> "Schema":
+    def project(self, names: list[str] | tuple[str, ...]) -> Schema:
         """Return a schema containing only ``names``, in the given order."""
         by_name = {f.name: f for f in self.fields}
         missing = [n for n in names if n not in by_name]
@@ -103,7 +103,7 @@ class Schema:
         pk = tuple(k for k in self.primary_key if k in names)
         return Schema(tuple(by_name[n] for n in names), pk)
 
-    def concat(self, other: "Schema") -> "Schema":
+    def concat(self, other: Schema) -> Schema:
         """Join-output schema: all of ``self``'s fields then ``other``'s.
 
         Duplicate field names on the right side are dropped (the join key

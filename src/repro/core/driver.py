@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.algebra.jobgen import build_final_job, build_sink_job
 from repro.algebra.plan import JoinNode, LeafNode, PlanNode
+from repro.algebra.toolkit import PlannerToolkit
 from repro.common.errors import OptimizationError
 from repro.core.planner import (
     PlannedJoin,
@@ -37,7 +38,6 @@ from repro.engine.scheduler.request import JobRequest, drive_stages
 from repro.lang.ast import Query
 from repro.obs.trace import Tracer
 from repro.optimizers.base import Optimizer
-from repro.algebra.toolkit import PlannerToolkit
 from repro.stats.catalog import StatisticsCatalog
 from repro.stats.collector import StatisticsCollector
 
@@ -60,6 +60,7 @@ def resolve_logical(node: PlanNode, registry: dict[str, PlanNode]) -> PlanNode:
             probe_keys=node.probe_keys,
             algorithm=node.algorithm,
             estimated_rows=node.estimated_rows,
+            decided_build_bytes=node.decided_build_bytes,
         )
     raise OptimizationError(f"cannot resolve node type {type(node).__name__}")
 

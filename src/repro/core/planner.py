@@ -13,13 +13,13 @@ cardinalities only.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.algebra.plan import JoinNode, PlanNode
+from repro.algebra.toolkit import PlannerToolkit
 from repro.common.errors import OptimizationError
 from repro.lang.ast import JoinCondition
-from repro.algebra.toolkit import PlannerToolkit
 
 #: rank(toolkit, alias_a, alias_b, conditions) -> sort key (lower = better)
 RankFunction = Callable[[PlannerToolkit, str, str, list], float]

@@ -141,17 +141,17 @@ class ReplanPolicy:
     # -- constructors ---------------------------------------------------------
 
     @classmethod
-    def off(cls) -> "ReplanPolicy":
+    def off(cls) -> ReplanPolicy:
         """The fixed paper schedule; byte-identical to passing no policy."""
         return cls(enabled=False)
 
     @classmethod
-    def default(cls, qerror_threshold: float = 4.0) -> "ReplanPolicy":
+    def default(cls, qerror_threshold: float = 4.0) -> ReplanPolicy:
         """Static trigger threshold, refresh + widen on a miss, no fusing."""
         return cls(qerror_threshold=qerror_threshold)
 
     @classmethod
-    def adaptive_policy(cls, min_history: int = 8) -> "ReplanPolicy":
+    def adaptive_policy(cls, min_history: int = 8) -> ReplanPolicy:
         """Thresholds derived at runtime from the session's FeedbackLog."""
         return cls(adaptive=True, early_fuse=True, min_history=min_history)
 

@@ -61,7 +61,7 @@ class PartitionedData:
             primary_key,
         )
 
-    def project(self, names: list[str] | tuple[str, ...]) -> "PartitionedData":
+    def project(self, names: list[str] | tuple[str, ...]) -> PartitionedData:
         keep = [n for n in names if n in self.columns]
         projected = [
             [{name: row.get(name) for name in keep} for row in partition]

@@ -12,7 +12,7 @@ Both return new partition lists; the caller charges the cost model.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.common.rng import stable_hash
 

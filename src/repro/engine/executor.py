@@ -9,6 +9,7 @@ and their statistics live in the catalogs, not in the executor).
 
 from __future__ import annotations
 
+from repro.analysis.runtime import VerifierStats
 from repro.cluster.config import ClusterConfig
 from repro.cluster.cost import CostModel, CostParameters
 from repro.engine.data import PartitionedData
@@ -31,12 +32,18 @@ class Executor:
         statistics: StatisticsCatalog,
         udfs: UdfRegistry | None = None,
         cost_parameters: CostParameters | None = None,
+        verify_plans: bool = True,
     ) -> None:
         self.cluster = cluster
         self.datasets = datasets
         self.statistics = statistics
         self.udfs = udfs or default_registry()
         self.cost = CostModel(cluster, cost_parameters)
+        #: verify-on-compile gate (DESIGN.md §9): every scheduled job is
+        #: checked against rules P001-P007 before it launches. Zero simulated
+        #: cost; host wall time accrues on :attr:`verifier_stats`.
+        self.verify_plans = verify_plans
+        self.verifier_stats = VerifierStats()
 
     def execute(
         self,

@@ -9,8 +9,12 @@ visible for tests and plan dumps.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.engine.operators.base import PhysicalOperator
+
+if TYPE_CHECKING:
+    from repro.algebra.plan import PlanNode
 
 
 @dataclass
@@ -20,6 +24,10 @@ class Job:
     root: PhysicalOperator
     label: str = "job"
     phase: str = ""
+    #: the join tree this job was compiled from, when there is one — the
+    #: verifier's plan-level rules (key types, broadcast budgets) need the
+    #: algebraic view; push-down jobs and hand-built jobs carry ``None``.
+    plan: PlanNode | None = None
 
     def render(self) -> str:
         header = f"-- Job: {self.label}" + (f" [{self.phase}]" if self.phase else "")

@@ -60,7 +60,7 @@ class JobMetrics:
         """Online statistics collection overhead (Figure 6)."""
         return self.stats
 
-    def merge(self, other: "JobMetrics") -> "JobMetrics":
+    def merge(self, other: JobMetrics) -> JobMetrics:
         """Accumulate another job's metrics into this one (in place)."""
         for f in fields(self):
             if f.name.startswith("_"):
@@ -68,7 +68,7 @@ class JobMetrics:
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
         return self
 
-    def copy(self) -> "JobMetrics":
+    def copy(self) -> JobMetrics:
         clone = JobMetrics()
         clone.merge(self)
         return clone

@@ -36,7 +36,7 @@ class ExecState:
     evaluation: EvaluationContext
     metrics: JobMetrics
     #: optional observer; operators open a span around each ``run``
-    tracer: "Tracer | None" = None
+    tracer: Tracer | None = None
 
     def charge(self, component: str, seconds: float) -> None:
         setattr(self.metrics, component, getattr(self.metrics, component) + seconds)

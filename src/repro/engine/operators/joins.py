@@ -109,7 +109,7 @@ class HashJoinOp(PhysicalOperator):
         probe_key = _key_fn(self.probe_keys)
         out_partitions: list[list[dict]] = []
         out_rows = 0
-        for build_part, probe_part in zip(build_parts, probe_parts):
+        for build_part, probe_part in zip(build_parts, probe_parts, strict=True):
             table: dict = {}
             for row in build_part:
                 key = build_key(row)
@@ -145,7 +145,7 @@ class HashJoinOp(PhysicalOperator):
 
     def label(self) -> str:
         pairs = ", ".join(
-            f"{b} = {p}" for b, p in zip(self.build_keys, self.probe_keys)
+            f"{b} = {p}" for b, p in zip(self.build_keys, self.probe_keys, strict=True)
         )
         return f"HashJoin [{pairs}]"
 
@@ -216,7 +216,7 @@ class BroadcastJoinOp(PhysicalOperator):
 
     def label(self) -> str:
         pairs = ", ".join(
-            f"{b} = {p}" for b, p in zip(self.build_keys, self.probe_keys)
+            f"{b} = {p}" for b, p in zip(self.build_keys, self.probe_keys, strict=True)
         )
         return f"BroadcastJoin [{pairs}]"
 
@@ -268,7 +268,7 @@ class IndexNestedLoopJoinOp(PhysicalOperator):
         )
 
         prefix = f"{self.inner_alias}."
-        residual = list(zip(self.build_keys[1:], self.inner_fields[1:]))
+        residual = list(zip(self.build_keys[1:], self.inner_fields[1:], strict=True))
         out_partitions: list[list[dict]] = []
         out_rows = 0
         lookups = 0
@@ -310,6 +310,6 @@ class IndexNestedLoopJoinOp(PhysicalOperator):
     def label(self) -> str:
         pairs = ", ".join(
             f"{b} = {self.inner_alias}.{f}"
-            for b, f in zip(self.build_keys, self.inner_fields)
+            for b, f in zip(self.build_keys, self.inner_fields, strict=True)
         )
         return f"IndexNLJoin [{pairs}] (inner {self.inner_dataset})"

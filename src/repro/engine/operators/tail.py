@@ -41,7 +41,7 @@ class GroupByOp(PhysicalOperator):
                 groups.setdefault(tuple(row.get(k) for k in keys), []).append(row)
             grouped = []
             for key_values, rows in groups.items():
-                out = dict(zip(keys, key_values))
+                out = dict(zip(keys, key_values, strict=True))
                 out["count"] = len(rows)
                 grouped.append(out)
             out_partitions.append(grouped)

@@ -28,9 +28,11 @@ drift apart.
 
 from __future__ import annotations
 
+from collections.abc import Generator, Iterable
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Generator, Iterable
+from typing import TYPE_CHECKING
 
+from repro.analysis.runtime import verify_before_launch
 from repro.engine.job import Job
 from repro.engine.metrics import JobMetrics
 
@@ -58,8 +60,8 @@ class JobRequest:
     job: Job | None = None
     virtual_cost: JobMetrics | None = None
     parameters: dict = field(default_factory=dict)
-    statistics: "StatisticsCatalog | None" = None
-    tracer: "Tracer | None" = None
+    statistics: StatisticsCatalog | None = None
+    tracer: Tracer | None = None
     #: zero out the job's online-statistics charge before merging (the
     #: Figure-6 "no online statistics" refund).
     refund_stats: bool = False
@@ -77,7 +79,7 @@ class JobRequest:
 class JobOutcome:
     """What a driver receives back for one :class:`JobRequest`."""
 
-    data: "PartitionedData | None"
+    data: PartitionedData | None
     #: this job's own charge, *after* refunds and scan-sharing discounts —
     #: already merged into the request's ``cumulative`` metrics.
     metrics: JobMetrics
@@ -110,7 +112,7 @@ def _apply_scan_share(metrics: JobMetrics, position: int, count: int) -> None:
 
 
 def _perform(
-    executor: "Executor",
+    executor: Executor,
     request: JobRequest,
     scan_share: tuple[int, int] | None,
     partitions: int | None,
@@ -122,6 +124,10 @@ def _perform(
         data = None
         job_metrics = request.virtual_cost.copy()
     else:
+        # Verify-on-compile gate: prove the job's invariants (P001-P007)
+        # before anything launches. Zero simulated cost; raises
+        # PlanVerificationError with the diagnostics when the job is broken.
+        verify_before_launch(executor, request)
         data, job_metrics = executor.execute(
             request.job,
             request.parameters,
@@ -140,7 +146,7 @@ def _perform(
 
 
 def run_request(
-    executor: "Executor",
+    executor: Executor,
     request: JobRequest,
     scan_share: tuple[int, int] | None = None,
     partitions: int | None = None,
@@ -170,7 +176,7 @@ def run_request(
     return outcome
 
 
-def drive_stages(stages: Stages, executor: "Executor"):
+def drive_stages(stages: Stages, executor: Executor):
     """Synchronously pump a stage generator to completion.
 
     Every yielded request executes immediately in order — exactly the old

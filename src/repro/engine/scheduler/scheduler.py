@@ -116,7 +116,7 @@ class QueryHandle:
     def __init__(
         self,
         query_id: int,
-        query: "Query",
+        query: Query,
         strategy,
         session,
         priority: int,
@@ -209,14 +209,14 @@ class _InFlightJob:
     outcomes: list[JobOutcome] = field(default_factory=list)
     participants: list[QueryHandle] = field(default_factory=list)
 
-    def __lt__(self, other: "_InFlightJob") -> bool:
+    def __lt__(self, other: _InFlightJob) -> bool:
         return (self.end_seconds, self.order) < (other.end_seconds, other.order)
 
 
 class JobScheduler:
     """Admission + space sharing + batching over one simulated cluster."""
 
-    def __init__(self, executor: "Executor", config: SchedulerConfig | None = None) -> None:
+    def __init__(self, executor: Executor, config: SchedulerConfig | None = None) -> None:
         self.executor = executor
         self.config = config or SchedulerConfig()
         #: the shared simulated clock (latest completion processed so far)
@@ -243,7 +243,7 @@ class JobScheduler:
 
     def submit(
         self,
-        query: "Query",
+        query: Query,
         strategy,
         session,
         priority: int = 0,
@@ -529,7 +529,7 @@ class JobScheduler:
         job = heapq.heappop(self._in_flight)
         self.now = job.end_seconds
         heapq.heappush(self._free_slots, job.slot)
-        for (handle, index), outcome in zip(job.entries, job.outcomes):
+        for (handle, index), outcome in zip(job.entries, job.outcomes, strict=True):
             self._busy.discard((handle.query_id, index))
             handle._record_outcome(index, outcome)
         for handle in job.participants:

@@ -51,7 +51,7 @@ class Predicate:
         """Complex predicates (UDF / parameterized) defeat static estimation."""
         return False
 
-    def evaluate(self, row: dict, context: "EvaluationContext") -> bool:
+    def evaluate(self, row: dict, context: EvaluationContext) -> bool:
         raise NotImplementedError
 
     def describe(self) -> str:
@@ -72,7 +72,7 @@ class ComparisonPredicate(Predicate):
         if self.op not in COMPARISON_OPS:
             raise QueryError(f"unsupported comparison operator {self.op!r}")
 
-    def evaluate(self, row: dict, context: "EvaluationContext") -> bool:
+    def evaluate(self, row: dict, context: EvaluationContext) -> bool:
         return _compare(row.get(self.column), self.op, self.value)
 
     def describe(self) -> str:
@@ -86,7 +86,7 @@ class BetweenPredicate(Predicate):
     low: object = None
     high: object = None
 
-    def evaluate(self, row: dict, context: "EvaluationContext") -> bool:
+    def evaluate(self, row: dict, context: EvaluationContext) -> bool:
         value = row.get(self.column)
         if value is None:
             return False
@@ -112,7 +112,7 @@ class ParameterPredicate(Predicate):
     def is_complex(self) -> bool:
         return True
 
-    def evaluate(self, row: dict, context: "EvaluationContext") -> bool:
+    def evaluate(self, row: dict, context: EvaluationContext) -> bool:
         if self.parameter not in context.parameters:
             raise QueryError(f"unbound query parameter ${self.parameter}")
         return _compare(row.get(self.column), self.op, context.parameters[self.parameter])
@@ -138,7 +138,7 @@ class UdfPredicate(Predicate):
     def is_complex(self) -> bool:
         return True
 
-    def evaluate(self, row: dict, context: "EvaluationContext") -> bool:
+    def evaluate(self, row: dict, context: EvaluationContext) -> bool:
         fn = context.udfs.get(self.udf)
         return _compare(fn(row.get(self.column)), self.op, self.value)
 
@@ -169,7 +169,7 @@ class EvaluationContext:
     """Runtime bindings needed to evaluate complex predicates."""
 
     parameters: dict = field(default_factory=dict)
-    udfs: "object" = None  # UdfRegistry; typed loosely to avoid an import cycle
+    udfs: object = None  # UdfRegistry; typed loosely to avoid an import cycle
 
 
 # -- joins -----------------------------------------------------------------------
@@ -270,7 +270,7 @@ class Query:
         pair = frozenset((a, b))
         return tuple(c for c in self.joins if frozenset(c.aliases()) == pair)
 
-    def with_tables(self, tables: tuple[TableRef, ...]) -> "Query":
+    def with_tables(self, tables: tuple[TableRef, ...]) -> Query:
         return replace(self, tables=tables)
 
     def describe(self) -> str:

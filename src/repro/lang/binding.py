@@ -9,7 +9,7 @@ callable so this module stays independent of the storage layer.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.common.errors import QueryError
 from repro.common.types import Schema

@@ -36,59 +36,59 @@ class QueryBuilder:
 
     # -- clauses ----------------------------------------------------------------
 
-    def select(self, *columns: str) -> "QueryBuilder":
+    def select(self, *columns: str) -> QueryBuilder:
         for column in columns:
             split_column(column)  # validates the alias.field shape
             self._select.append(column)
         return self
 
-    def from_table(self, dataset: str, alias: str | None = None, *, broadcast_hint: bool = False) -> "QueryBuilder":
+    def from_table(self, dataset: str, alias: str | None = None, *, broadcast_hint: bool = False) -> QueryBuilder:
         alias = alias or dataset
         if any(t.alias == alias for t in self._tables):
             raise QueryError(f"alias {alias!r} used twice in FROM clause")
         self._tables.append(TableRef(dataset, alias, broadcast_hint))
         return self
 
-    def where(self, predicate: Predicate) -> "QueryBuilder":
+    def where(self, predicate: Predicate) -> QueryBuilder:
         self._predicates.append(predicate)
         return self
 
-    def where_compare(self, column: str, op: str, value: object) -> "QueryBuilder":
+    def where_compare(self, column: str, op: str, value: object) -> QueryBuilder:
         return self.where(ComparisonPredicate(column, op, value))
 
-    def where_eq(self, column: str, value: object) -> "QueryBuilder":
+    def where_eq(self, column: str, value: object) -> QueryBuilder:
         return self.where_compare(column, "=", value)
 
-    def where_between(self, column: str, low: object, high: object) -> "QueryBuilder":
+    def where_between(self, column: str, low: object, high: object) -> QueryBuilder:
         return self.where(BetweenPredicate(column, low, high))
 
-    def where_param(self, column: str, op: str, parameter: str) -> "QueryBuilder":
+    def where_param(self, column: str, op: str, parameter: str) -> QueryBuilder:
         return self.where(ParameterPredicate(column, op, parameter))
 
-    def where_udf(self, udf: str, column: str, op: str, value: object) -> "QueryBuilder":
+    def where_udf(self, udf: str, column: str, op: str, value: object) -> QueryBuilder:
         return self.where(UdfPredicate(column, udf, op, value))
 
-    def join(self, left: str, right: str) -> "QueryBuilder":
+    def join(self, left: str, right: str) -> QueryBuilder:
         split_column(left)
         split_column(right)
         self._joins.append(JoinCondition(left, right))
         return self
 
-    def group_by(self, *columns: str) -> "QueryBuilder":
+    def group_by(self, *columns: str) -> QueryBuilder:
         self._group_by.extend(columns)
         return self
 
-    def order_by(self, *columns: str) -> "QueryBuilder":
+    def order_by(self, *columns: str) -> QueryBuilder:
         self._order_by.extend(columns)
         return self
 
-    def limit(self, n: int) -> "QueryBuilder":
+    def limit(self, n: int) -> QueryBuilder:
         if n < 0:
             raise QueryError("LIMIT must be non-negative")
         self._limit = n
         return self
 
-    def bind(self, **parameters: object) -> "QueryBuilder":
+    def bind(self, **parameters: object) -> QueryBuilder:
         """Bind runtime values for parameterized predicates."""
         self._parameters.update(parameters)
         return self

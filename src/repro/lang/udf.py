@@ -9,7 +9,7 @@ serializable and reconstruction-friendly.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.common.errors import QueryError
 

@@ -13,6 +13,8 @@ never charges the cost model, so simulated times are bit-identical with and
 without a tracer attached.
 """
 
+from repro.obs.report import ExplainReport, qerror_stats, render_explain_analyze
+from repro.obs.timeline import ClusterTimeline, TimelineEvent
 from repro.obs.trace import (
     EstimateRecord,
     QueryTrace,
@@ -20,8 +22,6 @@ from repro.obs.trace import (
     Tracer,
     q_error,
 )
-from repro.obs.report import ExplainReport, render_explain_analyze, qerror_stats
-from repro.obs.timeline import ClusterTimeline, TimelineEvent
 
 __all__ = [
     "ClusterTimeline",

@@ -22,12 +22,17 @@ class ExplainReport:
     simulated_seconds: float
     phases: tuple[str, ...] = ()
     decisions: tuple = ()
+    #: verify-on-compile gate summary (DESIGN.md §9): how many jobs the plan
+    #: verifier checked during this execution and every diagnostic code it
+    #: raised (empty == all jobs verified clean).
+    verified_jobs: int = 0
+    diagnostics: tuple[str, ...] = ()
 
     def __str__(self) -> str:
         return self.plan_description
 
     def describe(self) -> str:
-        """Multi-line summary: plan, phases, cost, policy decisions."""
+        """Multi-line summary: plan, phases, cost, verifier, decisions."""
         lines = [
             f"strategy: {self.strategy}",
             f"plan: {self.plan_description}",
@@ -35,6 +40,13 @@ class ExplainReport:
         ]
         if self.phases:
             lines.append("phases: " + " -> ".join(self.phases))
+        if self.verified_jobs:
+            verdict = (
+                "clean" if not self.diagnostics else ", ".join(self.diagnostics)
+            )
+            lines.append(
+                f"verifier: {self.verified_jobs} job(s) checked — {verdict}"
+            )
         for decision in self.decisions:
             lines.append(f"decision: {decision.describe()}")
         return "\n".join(lines)

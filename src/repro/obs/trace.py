@@ -25,9 +25,9 @@ on.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
 
 #: JobMetrics attribute names mirrored into span cost / counter deltas.
 TIME_COMPONENTS = (
@@ -83,6 +83,33 @@ class EstimateRecord:
             "estimated_rows": self.estimated_rows,
             "actual_rows": self.actual_rows,
             "q_error": self.q_error,
+        }
+
+
+@dataclass(frozen=True)
+class VerificationRecord:
+    """One verify-on-compile gate pass (DESIGN.md §9).
+
+    Recorded when the plan/job verifier checks a job before launch. Content
+    is fully deterministic — rule counts and diagnostic codes, never wall
+    time — so traces stay byte-comparable across runs and schedules.
+    """
+
+    phase: str
+    job_label: str
+    rules_checked: int
+    codes: tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.codes
+
+    def to_dict(self) -> dict:
+        return {
+            "phase": self.phase,
+            "job_label": self.job_label,
+            "rules_checked": self.rules_checked,
+            "codes": list(self.codes),
         }
 
 
@@ -154,6 +181,7 @@ class Tracer:
         self.root = Span(name=query_label, kind="query", start_seconds=0.0)
         self.base_seconds = 0.0
         self.estimates: list[EstimateRecord] = []
+        self.verifications: list[VerificationRecord] = []
         self._stack: list[Span] = [self.root]
         self._phase_names: list[str] = []
         self._finished = False
@@ -281,13 +309,34 @@ class Tracer:
             )
         )
 
+    def record_verification(
+        self,
+        phase: str,
+        job_label: str,
+        rules_checked: int,
+        codes: tuple[str, ...] = (),
+    ) -> None:
+        """Append a verify-on-compile gate record (zero simulated cost)."""
+        self.verifications.append(
+            VerificationRecord(
+                phase=phase,
+                job_label=job_label,
+                rules_checked=rules_checked,
+                codes=codes,
+            )
+        )
+
     # -- completion -----------------------------------------------------------
 
-    def finish(self) -> "QueryTrace":
+    def finish(self) -> QueryTrace:
         """Close the query span and package the trace (idempotent)."""
         self._finished = True
         self.root.end_seconds = self.base_seconds
-        return QueryTrace(root=self.root, estimates=list(self.estimates))
+        return QueryTrace(
+            root=self.root,
+            estimates=list(self.estimates),
+            verifications=list(self.verifications),
+        )
 
 
 @dataclass
@@ -296,6 +345,8 @@ class QueryTrace:
 
     root: Span
     estimates: list[EstimateRecord] = field(default_factory=list)
+    #: verify-on-compile gate passes, one per verified job (DESIGN.md §9).
+    verifications: list["VerificationRecord"] = field(default_factory=list)
 
     def spans(self) -> list[Span]:
         return list(self.root.walk())
@@ -327,12 +378,17 @@ class QueryTrace:
     # -- export ---------------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "query": self.root.name,
             "total_seconds": self.root.end_seconds,
             "spans": self.root.to_dict(),
             "estimates": [record.to_dict() for record in self.estimates],
         }
+        if self.verifications:
+            out["verifications"] = [
+                record.to_dict() for record in self.verifications
+            ]
+        return out
 
     def to_json(self, indent: int | None = None) -> str:
         import json

@@ -12,8 +12,8 @@ from __future__ import annotations
 from itertools import combinations
 
 from repro.algebra.plan import JoinNode, LeafNode, PlanNode
-from repro.common.errors import OptimizationError
 from repro.algebra.toolkit import PlannerToolkit
+from repro.common.errors import OptimizationError
 
 
 def best_bushy_plan(toolkit: PlannerToolkit, movement_aware: bool = False) -> PlanNode:

@@ -13,10 +13,10 @@ expensive right-deep order with no hints.
 from __future__ import annotations
 
 from repro.algebra.plan import PlanNode
+from repro.algebra.toolkit import PlannerToolkit
 from repro.common.errors import OptimizationError
 from repro.lang.ast import Query
 from repro.optimizers.base import Optimizer, single_job_stages
-from repro.algebra.toolkit import PlannerToolkit
 
 
 def from_order_plan(

@@ -23,10 +23,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.algebra.toolkit import alias_stats_key
 from repro.core.driver import DynamicOptimizer
 from repro.engine.metrics import JobMetrics
 from repro.lang.ast import EvaluationContext, Query
-from repro.algebra.toolkit import alias_stats_key
 from repro.stats.catalog import DatasetStatistics, StatisticsCatalog
 from repro.stats.collector import FieldStatistics, StatisticsCollector
 
@@ -43,7 +43,7 @@ class ScaledFieldStatistics(FieldStatistics):
         return max(1.0, raw * self.scale)
 
     @classmethod
-    def from_sample(cls, sample: FieldStatistics, scale: float) -> "ScaledFieldStatistics":
+    def from_sample(cls, sample: FieldStatistics, scale: float) -> ScaledFieldStatistics:
         scaled = cls(sample.field_name, scale=scale)
         scaled.quantiles = sample.quantiles
         scaled.distinct = sample.distinct

@@ -12,9 +12,9 @@ feedback sidesteps.
 
 from __future__ import annotations
 
+from repro.algebra.toolkit import PlannerToolkit
 from repro.lang.ast import Query
 from repro.optimizers.base import Optimizer, single_job_stages
-from repro.algebra.toolkit import PlannerToolkit
 from repro.optimizers.enumeration import best_bushy_plan
 
 

@@ -11,10 +11,10 @@ given, so every join is a hash join.
 from __future__ import annotations
 
 from repro.algebra.plan import PlanNode
+from repro.algebra.toolkit import PlannerToolkit
 from repro.common.errors import OptimizationError
 from repro.lang.ast import EvaluationContext, Query
 from repro.optimizers.base import Optimizer, single_job_stages
-from repro.algebra.toolkit import PlannerToolkit
 from repro.stats.estimation import resolve_field
 
 

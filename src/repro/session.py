@@ -50,6 +50,7 @@ class Session:
         cost_parameters: CostParameters | None = None,
         scheduler_config: SchedulerConfig | None = None,
         job_slots: int | None = None,
+        verify_plans: bool = True,
     ) -> None:
         self.cluster = cluster or default_cluster()
         if job_slots is not None:
@@ -67,6 +68,7 @@ class Session:
             self.statistics,
             self.udfs,
             cost_parameters,
+            verify_plans=verify_plans,
         )
         self.scheduler_config = scheduler_config
         self.scheduler = JobScheduler(self.executor, scheduler_config)
@@ -207,12 +209,19 @@ class Session:
         spec = resolve_planner(planner, optimizer, options, entry="explain")
         try:
             result = spec.make().execute(query, self)
+            verifications = result.trace.verifications if result.trace else []
             return ExplainReport(
                 strategy=spec.strategy,
                 plan_description=result.plan_description,
                 simulated_seconds=result.seconds,
                 phases=tuple(result.phases),
                 decisions=tuple(result.decisions),
+                verified_jobs=len(verifications),
+                diagnostics=tuple(
+                    code
+                    for record in verifications
+                    for code in record.codes
+                ),
             )
         finally:
             self.reset_intermediates()

@@ -170,7 +170,7 @@ class GKQuantileSketch:
             raise StatisticsError("empty sketch has no maximum")
         return self._entries[-1].value
 
-    def merge(self, other: "GKQuantileSketch") -> "GKQuantileSketch":
+    def merge(self, other: GKQuantileSketch) -> GKQuantileSketch:
         """Merge two sketches into a new one.
 
         The merged sketch honours ``max(self.epsilon, other.epsilon)``; per

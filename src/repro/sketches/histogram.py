@@ -42,7 +42,7 @@ class EquiHeightHistogram:
         self.total = total
 
     @classmethod
-    def from_sketch(cls, sketch: GKQuantileSketch, bucket_count: int = 32) -> "EquiHeightHistogram":
+    def from_sketch(cls, sketch: GKQuantileSketch, bucket_count: int = 32) -> EquiHeightHistogram:
         """Build from quantile borders; each bucket holds ~n/bucket_count rows."""
         if len(sketch) == 0:
             raise StatisticsError("cannot build a histogram from an empty sketch")
@@ -60,7 +60,7 @@ class EquiHeightHistogram:
         return cls(buckets, sketch.minimum, total)
 
     @classmethod
-    def from_values(cls, values, bucket_count: int = 32) -> "EquiHeightHistogram":
+    def from_values(cls, values, bucket_count: int = 32) -> EquiHeightHistogram:
         """Convenience constructor: exact equi-height histogram from values."""
         data = sorted(values)
         if not data:

@@ -77,7 +77,7 @@ class HyperLogLog:
             return m * math.log(m / zeros)
         return estimate
 
-    def merge(self, other: "HyperLogLog") -> "HyperLogLog":
+    def merge(self, other: HyperLogLog) -> HyperLogLog:
         """Return a new sketch equivalent to observing both streams."""
         if self.precision != other.precision:
             raise StatisticsError(
@@ -86,7 +86,7 @@ class HyperLogLog:
             )
         merged = HyperLogLog(self.precision)
         merged._registers = bytearray(
-            max(a, b) for a, b in zip(self._registers, other._registers)
+            max(a, b) for a, b in zip(self._registers, other._registers, strict=True)
         )
         merged._count = self._count + other._count
         return merged

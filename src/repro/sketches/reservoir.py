@@ -8,7 +8,8 @@ Algorithm-R reservoir so samples are uniform and deterministic under a seed.
 
 from __future__ import annotations
 
-from typing import Generic, Iterable, TypeVar
+from collections.abc import Iterable
+from typing import Generic, TypeVar
 
 from repro.common.errors import StatisticsError
 from repro.common.rng import derive

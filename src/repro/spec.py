@@ -75,11 +75,11 @@ class PlannerSpec:
                     )
 
     @classmethod
-    def of(cls, strategy: str = "dynamic", **options) -> "PlannerSpec":
+    def of(cls, strategy: str = "dynamic", **options) -> PlannerSpec:
         """Build a spec from keyword options (the usual constructor)."""
         return cls(strategy, tuple(sorted(options.items())))
 
-    def with_options(self, **options) -> "PlannerSpec":
+    def with_options(self, **options) -> PlannerSpec:
         """A copy with ``options`` merged over the existing ones."""
         merged = dict(self.options)
         merged.update(options)

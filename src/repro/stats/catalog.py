@@ -90,7 +90,7 @@ class StatisticsCatalog:
     def names(self) -> list[str]:
         return sorted(self._datasets)
 
-    def copy(self) -> "StatisticsCatalog":
+    def copy(self) -> StatisticsCatalog:
         """Shallow copy: entries are shared, membership is independent.
 
         Optimizers that speculatively override entries (e.g. the static

@@ -46,7 +46,7 @@ class FieldStatistics:
             return None
         return EquiHeightHistogram.from_sketch(self.quantiles, bucket_count)
 
-    def merge(self, other: "FieldStatistics") -> "FieldStatistics":
+    def merge(self, other: FieldStatistics) -> FieldStatistics:
         merged = FieldStatistics(self.field_name)
         merged.quantiles = self.quantiles.merge(other.quantiles)
         merged.distinct = self.distinct.merge(other.distinct)

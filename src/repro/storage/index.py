@@ -21,7 +21,7 @@ class SecondaryIndex:
     entries: dict
 
     @classmethod
-    def build(cls, rows: list[dict], field_name: str) -> "SecondaryIndex":
+    def build(cls, rows: list[dict], field_name: str) -> SecondaryIndex:
         entries: dict = {}
         for position, row in enumerate(rows):
             key = row.get(field_name)

@@ -104,7 +104,7 @@ def evaluate_reference(query: Query, session) -> list[dict]:
             key = tuple(row.get(k) for k in query.group_by)
             groups[key] = groups.get(key, 0) + 1
         rows = [
-            {**dict(zip(query.group_by, key)), "count": count}
+            {**dict(zip(query.group_by, key, strict=True)), "count": count}
             for key, count in groups.items()
         ]
     else:

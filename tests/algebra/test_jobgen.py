@@ -163,3 +163,51 @@ class TestJobBuilders:
         job = build_final_job(fact_da_plan(toolkit), star_query(), star_session.datasets)
         text = job.render()
         assert "Job" in text and "DistributeResult" in text
+
+    def test_jobs_carry_their_source_plan(self, star_session, toolkit):
+        plan = fact_da_plan(toolkit)
+        final = build_final_job(plan, star_query(), star_session.datasets)
+        sink = build_sink_job(plan, "i0", ("fact.f_val",), (), star_session.datasets)
+        assert final.plan is plan and sink.plan is plan
+
+
+class TestErrorPaths:
+    """Unknown node types and released namespaces fail loudly, not mid-job."""
+
+    def test_node_provides_rejects_unknown_node(self, star_session):
+        class WeirdNode:
+            """A plan-node type the analyzers were never taught about."""
+
+        with pytest.raises(PlanError, match="cannot analyze"):
+            node_provides(WeirdNode(), star_session.datasets)
+
+    def test_compile_plan_rejects_unknown_node(self, star_session):
+        class WeirdNode:
+            pass
+
+        with pytest.raises(PlanError, match="cannot compile"):
+            compile_plan(WeirdNode(), star_session.datasets)
+
+    def test_reader_over_released_namespace_is_flagged(self, star_session):
+        """A sink job recompiled after its ``__q<id>`` namespace was dropped
+        (the scheduler's failure cleanup) must verify as P002 before launch,
+        not crash mid-query."""
+        from repro.analysis.verifier import verify_job
+        from repro.common.types import DataType, Schema
+        from repro.storage.ingest import register_intermediate
+
+        register_intermediate(
+            "__q3_i0",
+            Schema.of(("fact.f_a", DataType.INT)),
+            [[{"fact.f_a": 1}]],
+            None,
+            star_session.datasets,
+        )
+        leaf = LeafNode("__q3_i0", "__q3_i0", is_intermediate=True)
+        job = build_sink_job(
+            leaf, "__q3_i1", ("fact.f_a",), (), star_session.datasets
+        )
+        assert verify_job(job, star_session.datasets) == []
+        star_session.datasets.drop("__q3_i0")
+        codes = [d.code for d in verify_job(job, star_session.datasets)]
+        assert "P002" in codes

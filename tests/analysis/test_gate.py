@@ -1,0 +1,151 @@
+"""Verify-on-compile gate: on by default, opt-out, zero simulated cost.
+
+The gate sits in ``run_request`` — the single execution seam — so these
+tests cover both drive paths (direct pump and scheduler), the
+``Session(verify_plans=False)`` opt-out, the raise-on-diagnostics behavior,
+and the load-bearing guarantee: verification never changes a single byte of
+schedules, metrics, or traces.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.analysis.diagnostics import PlanVerificationError
+from repro.analysis.runtime import verify_before_launch
+from repro.analysis.verifier import RULES_CHECKED_PER_JOB
+from repro.engine.job import Job
+from repro.engine.metrics import JobMetrics
+from repro.engine.operators.scan import ReaderOp
+from repro.engine.operators.sink import SinkOp
+from repro.engine.scheduler.request import JobRequest
+from repro.obs.trace import Tracer
+from repro.session import Session
+from repro.spec import PlannerSpec
+
+from tests.conftest import build_star_session, star_query
+
+ALL_STRATEGIES = sorted(
+    [
+        "dynamic",
+        "cost_based",
+        "from_order",
+        "best_order",
+        "worst_order",
+        "pilot_run",
+        "ingres",
+        "greedy_static",
+    ]
+)
+
+
+def broken_request(session, tracer=None) -> JobRequest:
+    job = Job(
+        SinkOp(ReaderOp("__q1_i0"), "i1", ()), label="broken", phase="join-1"
+    )
+    return JobRequest(
+        phase="join-1",
+        cumulative=JobMetrics(),
+        job=job,
+        statistics=session.statistics,
+        tracer=tracer,
+    )
+
+
+class TestGateDefaultOn:
+    def test_execution_verifies_jobs(self):
+        session = build_star_session()
+        session.execute(star_query())
+        stats = session.executor.verifier_stats
+        assert stats.jobs_verified > 0
+        assert stats.diagnostics_found == 0
+        assert stats.wall_seconds > 0.0
+
+    def test_opt_out_skips_gate(self):
+        session = build_star_session()
+        session.executor.verify_plans = False
+        session.execute(star_query())
+        assert session.executor.verifier_stats.jobs_verified == 0
+
+    def test_session_kwarg_reaches_executor(self):
+        assert Session(verify_plans=False).executor.verify_plans is False
+        assert Session().executor.verify_plans is True
+
+    def test_broken_job_raises_before_launch(self):
+        session = build_star_session()
+        with pytest.raises(PlanVerificationError) as excinfo:
+            verify_before_launch(session.executor, broken_request(session))
+        assert "P002" in excinfo.value.codes()
+        assert excinfo.value.job_label == "broken"
+
+    def test_opt_out_lets_broken_job_through_the_gate(self):
+        session = build_star_session()
+        session.executor.verify_plans = False
+        verify_before_launch(session.executor, broken_request(session))
+
+    def test_virtual_cost_requests_skip_gate(self):
+        session = build_star_session()
+        request = JobRequest(
+            phase="pilot", cumulative=JobMetrics(), virtual_cost=JobMetrics()
+        )
+        verify_before_launch(session.executor, request)
+        assert session.executor.verifier_stats.jobs_verified == 0
+
+
+class TestTraceAndExplain:
+    def test_trace_records_verifications(self):
+        session = build_star_session()
+        result = session.execute(star_query())
+        records = result.trace.verifications
+        assert records
+        assert all(record.clean for record in records)
+        assert all(
+            record.rules_checked == RULES_CHECKED_PER_JOB for record in records
+        )
+        assert "verifications" in result.trace.to_dict()
+
+    def test_failed_verification_recorded_in_trace(self):
+        session = build_star_session()
+        tracer = Tracer("broken")
+        with pytest.raises(PlanVerificationError):
+            verify_before_launch(
+                session.executor, broken_request(session, tracer=tracer)
+            )
+        (record,) = tracer.verifications
+        assert not record.clean
+        assert "P002" in record.codes
+
+    def test_explain_reports_verifier_summary(self):
+        session = build_star_session()
+        report = session.explain(star_query())
+        assert report.verified_jobs > 0
+        assert report.diagnostics == ()
+        assert "verifier:" in report.describe()
+        assert "clean" in report.describe()
+
+
+class TestZeroSimulatedCost:
+    """Verifier on vs off is byte-identical in everything simulated."""
+
+    @pytest.mark.parametrize("name", ALL_STRATEGIES)
+    def test_verifier_off_matches_on(self, name):
+        on = build_star_session().execute(star_query(), PlannerSpec.of(name))
+
+        off_session = build_star_session()
+        off_session.executor.verify_plans = False
+        off = off_session.execute(star_query(), PlannerSpec.of(name))
+
+        assert off.rows == on.rows
+        assert off.plan_description == on.plan_description
+        assert off.phases == on.phases
+        assert asdict(off.metrics) == asdict(on.metrics)
+        assert off.seconds == on.seconds
+
+    def test_verification_records_are_deterministic(self):
+        # Same query twice -> identical verification records (codes and
+        # counts only — never host wall time, which would break replays).
+        first = build_star_session().execute(star_query())
+        second = build_star_session().execute(star_query())
+        assert [r.to_dict() for r in first.trace.verifications] == [
+            r.to_dict() for r in second.trace.verifications
+        ]

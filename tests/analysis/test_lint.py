@@ -1,0 +1,129 @@
+"""Mutation tests for the determinism lint (D001-D004) + the clean-tree gate.
+
+Each rule gets a minimal source snippet that trips it, the nearest
+non-violation that must NOT trip it, and its documented escape hatches
+(path exemptions and ``# det: allow(...)`` pragmas).
+"""
+
+from pathlib import Path
+
+from repro.analysis.lint import lint_paths, lint_source
+
+
+def codes(findings) -> list[str]:
+    return [f.code for f in findings]
+
+
+class TestD001WallClock:
+    def test_time_module_call(self):
+        source = "import time\n\ndef f():\n    return time.time()\n"
+        assert codes(lint_source(source, "engine/executor.py")) == ["D001"]
+
+    def test_from_import_perf_counter(self):
+        source = "from time import perf_counter\n\nx = perf_counter()\n"
+        assert codes(lint_source(source, "core/driver.py")) == ["D001"]
+
+    def test_datetime_now(self):
+        source = "from datetime import datetime\n\nstamp = datetime.now()\n"
+        assert codes(lint_source(source, "obs/trace.py")) == ["D001"]
+
+    def test_analysis_package_exempt(self):
+        source = "from time import perf_counter\n\nx = perf_counter()\n"
+        assert lint_source(source, "analysis/runtime.py") == []
+
+    def test_pragma_suppresses(self):
+        source = (
+            "from time import perf_counter\n\n"
+            "x = perf_counter()  # det: allow(D001)\n"
+        )
+        assert lint_source(source, "engine/executor.py") == []
+
+    def test_pragma_is_code_specific(self):
+        source = (
+            "from time import perf_counter\n\n"
+            "x = perf_counter()  # det: allow(D002)\n"
+        )
+        assert codes(lint_source(source, "engine/executor.py")) == ["D001"]
+
+    def test_sleep_is_not_wall_clock(self):
+        source = "import time\n\ntime.sleep(0)\n"
+        assert lint_source(source, "engine/executor.py") == []
+
+
+class TestD002BareRandom:
+    def test_import_random(self):
+        source = "import random\n"
+        assert codes(lint_source(source, "core/driver.py")) == ["D002"]
+
+    def test_from_random_import(self):
+        source = "from random import Random\n"
+        assert codes(lint_source(source, "optimizers/pilot_run.py")) == ["D002"]
+
+    def test_rng_module_exempt(self):
+        source = "import random\n"
+        assert lint_source(source, "common/rng.py") == []
+
+
+class TestD003SetIteration:
+    def test_for_over_set_variable(self):
+        source = "def f(xs):\n    s = set(xs)\n    for x in s:\n        print(x)\n"
+        assert codes(lint_source(source, "core/driver.py")) == ["D003"]
+
+    def test_set_algebra_expression(self):
+        source = "def f(a, b):\n    for x in set(a) - set(b):\n        print(x)\n"
+        assert codes(lint_source(source, "optimizers/best_order.py")) == ["D003"]
+
+    def test_comprehension_over_annotated_set(self):
+        source = "def f(xs):\n    s: frozenset = xs\n    return [x for x in s]\n"
+        assert codes(lint_source(source, "algebra/jobgen.py")) == ["D003"]
+
+    def test_sorted_wrapper_is_clean(self):
+        source = "def f(xs):\n    for x in sorted(set(xs)):\n        print(x)\n"
+        assert lint_source(source, "core/driver.py") == []
+
+    def test_order_insensitive_reducer_is_clean(self):
+        source = "def f(xs):\n    return sum(x for x in set(xs))\n"
+        assert lint_source(source, "core/driver.py") == []
+
+    def test_outside_hot_paths_not_flagged(self):
+        source = "def f(xs):\n    for x in set(xs):\n        print(x)\n"
+        assert lint_source(source, "obs/report.py") == []
+
+    def test_dict_iteration_never_flagged(self):
+        source = "def f(d):\n    for k in d:\n        print(k)\n"
+        assert lint_source(source, "core/driver.py") == []
+
+    def test_list_iteration_never_flagged(self):
+        source = "def f(xs):\n    for x in list(xs):\n        print(x)\n"
+        assert lint_source(source, "core/driver.py") == []
+
+
+class TestD004QueueDelayInMetrics:
+    def test_jobmetrics_field(self):
+        source = (
+            "class JobMetrics:\n"
+            "    scan: float = 0.0\n"
+            "    queue_delay: float = 0.0\n"
+        )
+        assert codes(lint_source(source, "engine/metrics.py")) == ["D004"]
+
+    def test_assignment_into_metrics(self):
+        source = "def charge(metrics, wait):\n    metrics.queue_delay += wait\n"
+        assert codes(lint_source(source, "engine/scheduler/runner.py")) == ["D004"]
+
+    def test_schedule_info_owns_queue_delay(self):
+        # Waiting belongs on ScheduleInfo — the same attribute there is fine.
+        source = "def note(info, wait):\n    info.queue_delay = wait\n"
+        assert lint_source(source, "engine/scheduler/runner.py") == []
+
+    def test_other_metrics_fields_fine(self):
+        source = "def charge(metrics, s):\n    metrics.scan += s\n"
+        assert lint_source(source, "engine/metrics.py") == []
+
+
+class TestCleanTree:
+    def test_src_repro_is_lint_clean(self):
+        """The engine's own source must satisfy its own determinism lint."""
+        root = Path(__file__).resolve().parents[2] / "src" / "repro"
+        findings = lint_paths([root])
+        assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,0 +1,51 @@
+"""Verifier sweep harness tests (fast SF-10 cells only)."""
+
+from repro.bench.verify import (
+    VERIFY_OPTIMIZERS,
+    VerifyRow,
+    format_verify,
+    run_verify,
+    verify_cell,
+    verify_ok,
+)
+
+
+class TestVerifySweep:
+    def test_covers_every_registered_strategy(self):
+        from repro.optimizers import OPTIMIZERS
+
+        assert VERIFY_OPTIMIZERS == tuple(sorted(OPTIMIZERS))
+
+    def test_dynamic_cell_is_clean_and_accounted(self):
+        row = verify_cell("Q50", 10, "dynamic")
+        assert row.clean
+        assert row.jobs_verified > 0
+        assert 0.0 < row.verifier_seconds < row.host_seconds
+
+    def test_single_query_sweep(self):
+        rows = run_verify(
+            scale_factors=(10,),
+            queries=("Q8",),
+            optimizers=("cost_based", "from_order"),
+        )
+        assert [row.optimizer for row in rows] == ["cost_based", "from_order"]
+        assert verify_ok(rows)
+        report = format_verify(rows)
+        assert "Q8 @ SF 10" in report
+        assert "all runs verified clean (0 diagnostics)" in report
+
+    def test_format_flags_failures(self):
+        rows = [
+            VerifyRow(
+                query="Q9",
+                scale_factor=10,
+                optimizer="dynamic",
+                jobs_verified=3,
+                diagnostics=("P002",),
+                verifier_seconds=0.001,
+                host_seconds=0.1,
+            )
+        ]
+        assert not verify_ok(rows)
+        report = format_verify(rows)
+        assert "FAILED" in report and "P002" in report
