@@ -44,12 +44,29 @@ def node_provides(node: PlanNode, datasets: DatasetCatalog) -> set[str]:
     raise PlanError(f"cannot analyze node type {type(node).__name__}")
 
 
-def compile_leaf(leaf: LeafNode, datasets: DatasetCatalog):
+def compile_leaf(
+    leaf: LeafNode, datasets: DatasetCatalog, required: set[str] | None = None
+):
+    """One leaf: Scan/Reader plus its pushed-down Select.
+
+    ``required`` (qualified columns the consumer needs from this leaf) turns
+    into the source's ``live`` set — required plus the predicate columns the
+    Select itself reads — so the vectorized scan materializes only referenced
+    columns. ``None`` keeps every column alive; results are identical either
+    way.
+    """
     dataset = datasets.get(leaf.dataset)
+    live = None
+    if required is not None:
+        keep = required & leaf_provides(leaf, datasets)
+        if keep:
+            live = tuple(
+                sorted(keep | {p.column for p in leaf.predicates})
+            )
     if dataset.is_intermediate:
-        source = ReaderOp(leaf.dataset)
+        source = ReaderOp(leaf.dataset, live=live)
     else:
-        source = ScanOp(leaf.dataset, leaf.alias)
+        source = ScanOp(leaf.dataset, leaf.alias, live=live)
     if leaf.predicates:
         return SelectOp(source, leaf.predicates)
     return source
@@ -68,7 +85,7 @@ def compile_plan(
     carry).
     """
     if isinstance(plan, LeafNode):
-        op = compile_leaf(plan, datasets)
+        op = compile_leaf(plan, datasets, required)
         if required is not None:
             keep = sorted(required & leaf_provides(plan, datasets))
             if keep:
@@ -162,7 +179,14 @@ def build_pushdown_job(
     stats_columns: tuple[str, ...],
 ) -> Job:
     """Phase 1 of Figure 4: Scan -> Select -> Sink for one filtered dataset."""
-    scan = ScanOp(table.dataset, table.alias)
+    live = tuple(
+        sorted(
+            set(keep_columns)
+            | set(stats_columns)
+            | {p.column for p in predicates}
+        )
+    )
+    scan = ScanOp(table.dataset, table.alias, live=live)
     select = SelectOp(scan, predicates)
     sink = SinkOp(select, name, keep_columns, stats_columns)
     return Job(sink, label=f"{name} = σ({table.alias})", phase="pushdown")

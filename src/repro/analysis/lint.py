@@ -50,8 +50,19 @@ CLOCK_EXEMPT = ("common/rng.py", "analysis/")
 RANDOM_EXEMPT = ("common/rng.py",)
 
 #: D003 applies only inside planner/optimizer/scheduler hot paths — the code
-#: whose iteration order feeds plan choices and schedules.
-HOT_PATHS = ("core/", "optimizers/", "algebra/", "engine/scheduler/")
+#: whose iteration order feeds plan choices and schedules. The vectorized
+#: engine's operator/kernel modules are hot paths too: their iteration order
+#: feeds row order and the byte-identity guarantee of DESIGN.md §10.
+HOT_PATHS = (
+    "core/",
+    "optimizers/",
+    "algebra/",
+    "engine/scheduler/",
+    "engine/operators/",
+    "engine/vector",
+    "engine/exchange",
+    "engine/data",
+)
 
 #: Wall-clock functions of the ``time`` module (D001).
 WALLCLOCK_TIME_FUNCS = frozenset(

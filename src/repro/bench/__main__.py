@@ -66,6 +66,14 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="tiny fast configuration (used by CI to exercise the code paths)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("rowwise", "vectorized", "compare"),
+        default=None,
+        help="execution engine for the throughput experiment; 'compare' runs "
+        "the batch on both and reports the host-time speedup (results and "
+        "simulated seconds are identical across engines)",
+    )
     args = parser.parse_args(argv)
     unknown = [e for e in args.experiments if e not in EXPERIMENTS]
     if unknown:
@@ -103,13 +111,30 @@ def main(argv: list[str] | None = None) -> int:
         print("=== Multi-query throughput: scheduler vs one-at-a-time ===")
         throughput_sf = (tuple(args.sf) if args.sf else (10,))[0]
         query_count = 2 if args.smoke else 4
-        report = throughput.run_throughput(
-            scale_factor=throughput_sf,
-            query_count=query_count,
-            seed=args.seed,
-            job_slots=args.job_slots,
-        )
-        print(throughput.format_throughput(report))
+        if args.engine == "compare":
+            # The engine comparison measures per-row engine throughput, so
+            # it defaults to the largest bench scale and the full batch —
+            # at SF 10 fixed planning/scheduling overhead (identical across
+            # engines) dominates and the ratio collapses toward 1.
+            compare_sf = (tuple(args.sf) if args.sf else (1000,))[0]
+            comparison_report = throughput.compare_engines(
+                scale_factor=compare_sf,
+                query_count=4,
+                seed=args.seed,
+                job_slots=args.job_slots,
+            )
+            print(throughput.format_throughput(comparison_report.vectorized))
+            print()
+            print(throughput.format_engine_comparison(comparison_report))
+        else:
+            report = throughput.run_throughput(
+                scale_factor=throughput_sf,
+                query_count=query_count,
+                seed=args.seed,
+                job_slots=args.job_slots,
+                engine=args.engine,
+            )
+            print(throughput.format_throughput(report))
         print()
     if "feedback" in chosen:
         print("=== Feedback-driven re-planning: fixed schedule vs ReplanPolicy ===")

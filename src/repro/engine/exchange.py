@@ -15,6 +15,8 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from repro.common.rng import stable_hash
+from repro.engine import vector
+from repro.engine.data import ColumnPartition
 
 
 def hash_exchange(
@@ -41,3 +43,67 @@ def broadcast_exchange(partitions: list[list[dict]]) -> list[dict]:
     for partition in partitions:
         gathered.extend(partition)
     return gathered
+
+
+# -- columnar variants (vectorized engine) ---------------------------------------
+
+
+def columnar_hash_exchange(
+    partitions: list[ColumnPartition],
+    route_keys: list[list],
+    partition_count: int,
+) -> list[ColumnPartition]:
+    """Redistribute columnar partitions by hash of the per-row route keys.
+
+    ``route_keys[p]`` holds one routing value per row of partition ``p`` —
+    the raw first-key-column value for joins, the full key tuple for
+    group-by — matching the row-wise exchange's ``key_fn(row)`` exactly, so
+    every row lands on the same destination in the same order. Null keys are
+    routed like any other value (only join build/probe skips them).
+    """
+    names: tuple[str, ...] = ()
+    for partition in partitions:
+        if partition.columns:
+            names = tuple(partition.columns)
+            break
+    out_columns: list[dict[str, list]] = [
+        {name: [] for name in names} for _ in range(partition_count)
+    ]
+    out_lengths = [0] * partition_count
+    route_cache = vector.shared_route_cache(partition_count)
+    for partition, keys in zip(partitions, route_keys, strict=True):
+        routes = vector.route_partitions(keys, partition_count, route_cache)
+        buckets: list[list[int]] = [[] for _ in range(partition_count)]
+        for position, slot in enumerate(routes):
+            buckets[slot].append(position)
+        for slot, positions in enumerate(buckets):
+            if not positions:
+                continue
+            out_lengths[slot] += len(positions)
+            dest = out_columns[slot]
+            for name in names:
+                column = partition.column(name)
+                dest[name].extend([column[i] for i in positions])
+    return [
+        ColumnPartition(cols, length)
+        for cols, length in zip(out_columns, out_lengths)
+    ]
+
+
+def columnar_broadcast_exchange(
+    partitions: list[ColumnPartition],
+) -> ColumnPartition:
+    """Gather columnar partitions into the one shared copy every partition
+    receives (cost charged by the caller, as in :func:`broadcast_exchange`)."""
+    names: tuple[str, ...] = ()
+    for partition in partitions:
+        if partition.columns:
+            names = tuple(partition.columns)
+            break
+    gathered: dict[str, list] = {name: [] for name in names}
+    length = 0
+    for partition in partitions:
+        length += partition.length
+        for name in names:
+            gathered[name].extend(partition.column(name))
+    return ColumnPartition(gathered, length)

@@ -20,8 +20,14 @@ from __future__ import annotations
 import enum
 
 from repro.common.errors import ExecutionError
-from repro.engine.data import PartitionedData
-from repro.engine.exchange import broadcast_exchange, hash_exchange
+from repro.engine import vector
+from repro.engine.data import ColumnarData, ColumnPartition, PartitionedData
+from repro.engine.exchange import (
+    broadcast_exchange,
+    columnar_broadcast_exchange,
+    columnar_hash_exchange,
+    hash_exchange,
+)
 from repro.engine.operators.base import ExecState, PhysicalOperator
 
 
@@ -61,6 +67,37 @@ def _merge(build_row: dict, probe_row: dict) -> dict:
     return merged
 
 
+def _merged_columns(probe_columns: dict, build_columns: dict) -> dict:
+    """Join-output logical column map: probe's columns, build overwriting
+    overlaps — the columnar mirror of ``_merge``'s dict-update semantics."""
+    columns = dict(probe_columns)
+    columns.update(build_columns)
+    return columns
+
+
+def _gather_join_output(
+    columns: dict,
+    build_part: ColumnPartition,
+    probe_part: ColumnPartition,
+    build_idx: list[int],
+    probe_idx: list[int],
+) -> ColumnPartition:
+    """Materialize one join output partition from matched position pairs.
+
+    Physical columns follow the logical map's order; names present on both
+    sides are sourced from the build side (``_merge``: build wins).
+    """
+    build_names = build_part.columns.keys()
+    probe_names = probe_part.columns.keys()
+    out: dict[str, list] = {}
+    for name in columns:
+        if name in build_names:
+            out[name] = vector.gather(build_part.columns[name], build_idx)
+        elif name in probe_names:
+            out[name] = vector.gather(probe_part.columns[name], probe_idx)
+    return ColumnPartition(out, len(build_idx))
+
+
 class HashJoinOp(PhysicalOperator):
     """Partitioned dynamic hash join.
 
@@ -83,7 +120,7 @@ class HashJoinOp(PhysicalOperator):
         self.build_keys = tuple(build_keys)
         self.probe_keys = tuple(probe_keys)
 
-    def execute(self, state: ExecState) -> PartitionedData:
+    def execute_rows(self, state: ExecState) -> PartitionedData:
         build = self.children[0].run(state)
         probe = self.children[1].run(state)
         partition_count = state.cluster.partitions
@@ -143,6 +180,69 @@ class HashJoinOp(PhysicalOperator):
         columns.update(build.columns)
         return PartitionedData(out_partitions, columns, self.probe_keys[0], out_scale)
 
+    def execute_columnar(self, state: ExecState) -> ColumnarData:
+        build = self.children[0].run(state)
+        probe = self.children[1].run(state)
+        partition_count = state.cluster.partitions
+
+        build_parts = build.materialized()
+        if build.partitioned_on != self.build_keys[0]:
+            build_parts = columnar_hash_exchange(
+                build_parts,
+                [p.column(self.build_keys[0]) for p in build_parts],
+                partition_count,
+            )
+            state.charge(
+                "network", state.cost.hash_exchange(build.modeled_rows, build.row_width)
+            )
+        probe_parts = probe.materialized()
+        if probe.partitioned_on != self.probe_keys[0]:
+            probe_parts = columnar_hash_exchange(
+                probe_parts,
+                [p.column(self.probe_keys[0]) for p in probe_parts],
+                partition_count,
+            )
+            state.charge(
+                "network", state.cost.hash_exchange(probe.modeled_rows, probe.row_width)
+            )
+
+        columns = _merged_columns(probe.columns, build.columns)
+        out_partitions: list[ColumnPartition] = []
+        out_rows = 0
+        for build_part, probe_part in zip(build_parts, probe_parts, strict=True):
+            table = vector.build_hash_table(
+                vector.join_key_column(
+                    build_part.columns, build_part.length, self.build_keys
+                )
+            )
+            build_idx, probe_idx = vector.probe_hash_table(
+                table,
+                vector.join_key_column(
+                    probe_part.columns, probe_part.length, self.probe_keys
+                ),
+            )
+            out_rows += len(build_idx)
+            out_partitions.append(
+                _gather_join_output(
+                    columns, build_part, probe_part, build_idx, probe_idx
+                )
+            )
+
+        out_scale = max(build.scale, probe.scale)
+        state.charge("compute", state.cost.hash_build(build.modeled_rows))
+        state.charge(
+            "compute", state.cost.probe(probe.modeled_rows + out_rows * out_scale)
+        )
+        state.charge(
+            "spill",
+            state.cost.spill(
+                build.modeled_rows * build.row_width,
+                probe.modeled_rows * probe.row_width,
+            ),
+        )
+        state.metrics.tuples_joined += out_rows
+        return ColumnarData(out_partitions, columns, self.probe_keys[0], out_scale)
+
     def label(self) -> str:
         pairs = ", ".join(
             f"{b} = {p}" for b, p in zip(self.build_keys, self.probe_keys, strict=True)
@@ -168,7 +268,7 @@ class BroadcastJoinOp(PhysicalOperator):
         self.build_keys = tuple(build_keys)
         self.probe_keys = tuple(probe_keys)
 
-    def execute(self, state: ExecState) -> PartitionedData:
+    def execute_rows(self, state: ExecState) -> PartitionedData:
         build = self.children[0].run(state)
         probe = self.children[1].run(state)
 
@@ -214,6 +314,49 @@ class BroadcastJoinOp(PhysicalOperator):
             out_partitions, columns, probe.partitioned_on, out_scale
         )
 
+    def execute_columnar(self, state: ExecState) -> ColumnarData:
+        build = self.children[0].run(state)
+        probe = self.children[1].run(state)
+
+        gathered = columnar_broadcast_exchange(build.materialized())
+        state.charge(
+            "network",
+            state.cost.broadcast_exchange(build.modeled_rows, build.row_width),
+        )
+        state.charge("compute", state.cost.broadcast_build(build.modeled_rows))
+        table = vector.build_hash_table(
+            vector.join_key_column(
+                gathered.columns, gathered.length, self.build_keys
+            )
+        )
+
+        columns = _merged_columns(probe.columns, build.columns)
+        out_partitions: list[ColumnPartition] = []
+        out_rows = 0
+        for partition in probe.materialized():
+            build_idx, probe_idx = vector.probe_hash_table(
+                table,
+                vector.join_key_column(
+                    partition.columns, partition.length, self.probe_keys
+                ),
+            )
+            out_rows += len(build_idx)
+            out_partitions.append(
+                _gather_join_output(
+                    columns, gathered, partition, build_idx, probe_idx
+                )
+            )
+
+        out_scale = max(build.scale, probe.scale)
+        state.charge(
+            "compute", state.cost.probe(probe.modeled_rows + out_rows * out_scale)
+        )
+        state.metrics.tuples_joined += out_rows
+        # The probe side never moved: its partitioning property survives.
+        return ColumnarData(
+            out_partitions, columns, probe.partitioned_on, out_scale
+        )
+
     def label(self) -> str:
         pairs = ", ".join(
             f"{b} = {p}" for b, p in zip(self.build_keys, self.probe_keys, strict=True)
@@ -247,8 +390,7 @@ class IndexNestedLoopJoinOp(PhysicalOperator):
         self.build_keys = tuple(build_keys)
         self.inner_fields = tuple(inner_fields)  # *plain* field names
 
-    def execute(self, state: ExecState) -> PartitionedData:
-        build = self.children[0].run(state)
+    def _check_inner(self, state: ExecState):
         dataset = state.datasets.get(self.inner_dataset)
         if dataset.is_intermediate:
             raise ExecutionError(
@@ -260,6 +402,11 @@ class IndexNestedLoopJoinOp(PhysicalOperator):
                 f"INL requires a secondary index on "
                 f"{self.inner_dataset}.{index_field}"
             )
+        return dataset, index_field
+
+    def execute_rows(self, state: ExecState) -> PartitionedData:
+        build = self.children[0].run(state)
+        dataset, index_field = self._check_inner(state)
 
         gathered = broadcast_exchange(build.partitions)
         state.charge(
@@ -306,6 +453,70 @@ class IndexNestedLoopJoinOp(PhysicalOperator):
             prefix + dataset.partition_key if dataset.partition_key else None
         )
         return PartitionedData(out_partitions, columns, partitioned_on, out_scale)
+
+    def execute_columnar(self, state: ExecState) -> ColumnarData:
+        build = self.children[0].run(state)
+        dataset, index_field = self._check_inner(state)
+
+        gathered = columnar_broadcast_exchange(build.materialized())
+        state.charge(
+            "network",
+            state.cost.broadcast_exchange(build.modeled_rows, build.row_width),
+        )
+
+        prefix = f"{self.inner_alias}."
+        residual = list(zip(self.build_keys[1:], self.inner_fields[1:], strict=True))
+        key_column = gathered.column(self.build_keys[0])
+        residual_columns = [
+            (gathered.column(bk), f) for bk, f in residual
+        ]
+        inner_fields = [f.name for f in dataset.schema.fields]
+        columns = {prefix + f.name: f.dtype for f in dataset.schema.fields}
+        columns.update(build.columns)
+        build_names = gathered.columns.keys()
+
+        out_partitions: list[ColumnPartition] = []
+        out_rows = 0
+        lookups = 0
+        for partition_id, inner_rows in enumerate(dataset.partitions):
+            index = dataset.index_for(index_field, partition_id)
+            inner_idx: list[int] = []
+            build_idx: list[int] = []
+            for i in range(gathered.length):
+                lookups += 1
+                for position in index.lookup(key_column[i]):
+                    inner = inner_rows[position]
+                    if any(
+                        col[i] != inner.get(f) for col, f in residual_columns
+                    ):
+                        continue
+                    inner_idx.append(position)
+                    build_idx.append(i)
+            out_rows += len(build_idx)
+            cols: dict[str, list] = {}
+            for name in columns:
+                if name in build_names:
+                    cols[name] = vector.gather(gathered.columns[name], build_idx)
+            for field_name in inner_fields:
+                qualified = prefix + field_name
+                if qualified not in build_names:
+                    cols[qualified] = [
+                        inner_rows[p].get(field_name) for p in inner_idx
+                    ]
+            out_partitions.append(ColumnPartition(cols, len(build_idx)))
+
+        out_scale = max(build.scale, dataset.scale)
+        state.charge(
+            "index", state.cost.index_lookups(gathered.length * build.scale)
+        )
+        state.charge("compute", state.cost.probe(out_rows * out_scale))
+        state.metrics.index_lookups += lookups
+        state.metrics.tuples_joined += out_rows
+
+        partitioned_on = (
+            prefix + dataset.partition_key if dataset.partition_key else None
+        )
+        return ColumnarData(out_partitions, columns, partitioned_on, out_scale)
 
     def label(self) -> str:
         pairs = ", ".join(

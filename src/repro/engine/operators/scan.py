@@ -5,33 +5,41 @@ alias. ``ReaderOp`` reads a previously materialized intermediate (Figure 4:
 "the new operator introduced in this phase (Reader A') indicates that a
 datasource is not a base dataset") — its columns are already qualified and it
 is charged materialized-read I/O instead of base-scan I/O.
+
+In vectorized mode both return *lazy* column partitions: no column is
+extracted until a consumer touches it, so the fused select/project kernel
+above the scan reads only referenced columns (and non-predicate columns only
+for surviving rows). ``live`` — attached by job generation's projection
+pushdown — names the columns the rest of the job can ever need; ``None``
+means "no pushdown information, keep everything".
 """
 
 from __future__ import annotations
 
 from repro.common.errors import ExecutionError
-from repro.engine.data import PartitionedData
+from repro.engine.data import ColumnarData, LazyRowPartition, PartitionedData
 from repro.engine.operators.base import ExecState, PhysicalOperator
 
 
 class ScanOp(PhysicalOperator):
     """Full scan of a base dataset under an alias."""
 
-    def __init__(self, dataset: str, alias: str) -> None:
+    def __init__(
+        self, dataset: str, alias: str, live: tuple[str, ...] | None = None
+    ) -> None:
         self.dataset = dataset
         self.alias = alias
+        #: qualified columns referenced by the rest of the job (vectorized
+        #: mode materializes only these); ``None`` -> all schema columns
+        self.live = tuple(live) if live is not None else None
 
-    def execute(self, state: ExecState) -> PartitionedData:
+    def _open(self, state: ExecState):
         dataset = state.datasets.get(self.dataset)
         if dataset.is_intermediate:
             raise ExecutionError(
                 f"ScanOp targets base datasets; use ReaderOp for {self.dataset!r}"
             )
         prefix = f"{self.alias}."
-        partitions = [
-            [{prefix + key: value for key, value in row.items()} for row in partition]
-            for partition in dataset.partitions
-        ]
         columns = {prefix + f.name: f.dtype for f in dataset.schema.fields}
         partitioned_on = (
             prefix + dataset.partition_key if dataset.partition_key else None
@@ -40,7 +48,23 @@ class ScanOp(PhysicalOperator):
             "scan", state.cost.scan(dataset.modeled_rows, dataset.schema.row_width)
         )
         state.metrics.tuples_scanned += dataset.row_count
+        return dataset, prefix, columns, partitioned_on
+
+    def execute_rows(self, state: ExecState) -> PartitionedData:
+        dataset, prefix, columns, partitioned_on = self._open(state)
+        partitions = [
+            [{prefix + key: value for key, value in row.items()} for row in partition]
+            for partition in dataset.partitions
+        ]
         return PartitionedData(partitions, columns, partitioned_on, dataset.scale)
+
+    def execute_columnar(self, state: ExecState) -> ColumnarData:
+        dataset, prefix, columns, partitioned_on = self._open(state)
+        partitions = [
+            LazyRowPartition(partition, prefix, self.live, dataset.column_cache(i))
+            for i, partition in enumerate(dataset.partitions)
+        ]
+        return ColumnarData(partitions, columns, partitioned_on, dataset.scale)
 
     def label(self) -> str:
         return f"Scan {self.alias}" if self.alias == self.dataset else f"Scan {self.dataset} AS {self.alias}"
@@ -49,23 +73,38 @@ class ScanOp(PhysicalOperator):
 class ReaderOp(PhysicalOperator):
     """Read back a materialized re-optimization-point result."""
 
-    def __init__(self, dataset: str) -> None:
+    def __init__(self, dataset: str, live: tuple[str, ...] | None = None) -> None:
         self.dataset = dataset
+        self.live = tuple(live) if live is not None else None
 
-    def execute(self, state: ExecState) -> PartitionedData:
+    def _open(self, state: ExecState):
         dataset = state.datasets.get(self.dataset)
         if not dataset.is_intermediate:
             raise ExecutionError(
                 f"ReaderOp targets intermediates; use ScanOp for {self.dataset!r}"
             )
-        # Columns are already qualified; rows are shared read-only.
-        partitions = [list(partition) for partition in dataset.partitions]
         columns = {f.name: f.dtype for f in dataset.schema.fields}
         state.charge(
             "materialize",
             state.cost.read_materialized(dataset.modeled_rows, dataset.schema.row_width),
         )
+        return dataset, columns
+
+    def execute_rows(self, state: ExecState) -> PartitionedData:
+        dataset, columns = self._open(state)
+        # Columns are already qualified; rows are shared read-only.
+        partitions = [list(partition) for partition in dataset.partitions]
         return PartitionedData(
+            partitions, columns, dataset.partition_key, dataset.scale
+        )
+
+    def execute_columnar(self, state: ExecState) -> ColumnarData:
+        dataset, columns = self._open(state)
+        partitions = [
+            LazyRowPartition(partition, "", self.live, dataset.column_cache(i))
+            for i, partition in enumerate(dataset.partitions)
+        ]
+        return ColumnarData(
             partitions, columns, dataset.partition_key, dataset.scale
         )
 

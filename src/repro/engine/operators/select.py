@@ -4,12 +4,25 @@
 ("Assign t — Select t=C"): the UDF value is computed into a temporary column
 and filtered. Query compilation usually folds the UDF into the predicate
 directly, but the split form is available for plan fidelity and tests.
+
+In vectorized mode ``SelectOp`` over a fresh scan runs the fused
+scan+filter+project kernel (:func:`repro.engine.vector.fused_filter_project`)
+— one pass per chunk that filters on predicate columns and gathers only the
+live columns of surviving rows; already-extracted inputs go through the
+chunked :func:`~repro.engine.vector.filter_columns` kernel instead.
 """
 
 from __future__ import annotations
 
 from repro.common.types import DataType
-from repro.engine.data import PartitionedData
+from repro.engine import vector
+from repro.engine.data import (
+    ColumnarData,
+    ColumnPartition,
+    LazyRowPartition,
+    PartitionedData,
+    materialize,
+)
 from repro.engine.operators.base import ExecState, PhysicalOperator
 from repro.lang.ast import Predicate
 
@@ -21,7 +34,7 @@ class SelectOp(PhysicalOperator):
         self.children = (child,)
         self.predicates = tuple(predicates)
 
-    def execute(self, state: ExecState) -> PartitionedData:
+    def execute_rows(self, state: ExecState) -> PartitionedData:
         data = self.children[0].run(state)
         evaluation = state.evaluation
         filtered = [
@@ -38,6 +51,40 @@ class SelectOp(PhysicalOperator):
         )
         return PartitionedData(filtered, data.columns, data.partitioned_on, data.scale)
 
+    def execute_columnar(self, state: ExecState) -> ColumnarData:
+        data = self.children[0].run(state)
+        evaluation = state.evaluation
+        chunk_size = state.chunk_size
+        filtered: list[ColumnPartition | LazyRowPartition] = []
+        for partition in data.partitions:
+            if isinstance(partition, LazyRowPartition):
+                live = (
+                    partition.live
+                    if partition.live is not None
+                    else tuple(data.columns)
+                )
+                columns, length = vector.fused_filter_project(
+                    partition,
+                    self.predicates,
+                    live,
+                    evaluation,
+                    chunk_size,
+                )
+            else:
+                columns, length = vector.filter_columns(
+                    partition.columns,
+                    partition.length,
+                    self.predicates,
+                    evaluation,
+                    chunk_size,
+                )
+            filtered.append(ColumnPartition(columns, length))
+        state.charge(
+            "compute",
+            state.cost.predicate_eval(data.modeled_rows, len(self.predicates)),
+        )
+        return ColumnarData(filtered, data.columns, data.partitioned_on, data.scale)
+
     def label(self) -> str:
         return "Select " + " AND ".join(p.describe() for p in self.predicates)
 
@@ -53,7 +100,7 @@ class AssignOp(PhysicalOperator):
         self.udf = udf
         self.column = column
 
-    def execute(self, state: ExecState) -> PartitionedData:
+    def execute_rows(self, state: ExecState) -> PartitionedData:
         data = self.children[0].run(state)
         fn = state.evaluation.udfs.get(self.udf)
         for partition in data.partitions:
@@ -66,6 +113,20 @@ class AssignOp(PhysicalOperator):
             data.partitions, columns, data.partitioned_on, data.scale
         )
 
+    def execute_columnar(self, state: ExecState) -> ColumnarData:
+        data = self.children[0].run(state)
+        fn = state.evaluation.udfs.get(self.udf)
+        assigned: list[ColumnPartition | LazyRowPartition] = []
+        for partition in data.partitions:
+            extracted = materialize(partition, data.columns)
+            out = dict(extracted.columns)
+            out[self.target] = [fn(v) for v in extracted.column(self.column)]
+            assigned.append(ColumnPartition(out, extracted.length))
+        columns = dict(data.columns)
+        columns[self.target] = DataType.DOUBLE
+        state.charge("compute", state.cost.predicate_eval(data.modeled_rows, 1))
+        return ColumnarData(assigned, columns, data.partitioned_on, data.scale)
+
     def label(self) -> str:
         return f"Assign {self.target} = {self.udf}({self.column})"
 
@@ -77,11 +138,17 @@ class ProjectOp(PhysicalOperator):
         self.children = (child,)
         self.columns = tuple(columns)
 
-    def execute(self, state: ExecState) -> PartitionedData:
+    def _project(self, state: ExecState):
         data = self.children[0].run(state)
         projected = data.project(self.columns)
         state.charge("compute", state.cost.probe(data.modeled_rows))
         return projected
+
+    def execute_rows(self, state: ExecState) -> PartitionedData:
+        return self._project(state)
+
+    def execute_columnar(self, state: ExecState) -> ColumnarData:
+        return self._project(state)
 
     def label(self) -> str:
         return "Project " + ", ".join(self.columns)

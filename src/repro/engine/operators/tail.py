@@ -4,13 +4,23 @@ Section 6.4: non-join operators "are evaluated after all the joins and
 selections have been completed". The reproduction supports the tails the four
 evaluation queries need: GROUP BY with an implicit COUNT(*), global ORDER BY,
 and LIMIT.
+
+The vectorized variants keep the row-wise semantics exactly: groups appear in
+first-occurrence order (insertion-ordered dicts), the global sort is a stable
+index sort over the same ``_sort_key`` total order, and LIMIT slices columns
+in partition order.
 """
 
 from __future__ import annotations
 
 from repro.common.types import DataType
-from repro.engine.data import PartitionedData
-from repro.engine.exchange import hash_exchange
+from repro.engine.data import (
+    ColumnarData,
+    ColumnPartition,
+    LazyRowPartition,
+    PartitionedData,
+)
+from repro.engine.exchange import columnar_hash_exchange, hash_exchange
 from repro.engine.operators.base import ExecState, PhysicalOperator
 
 
@@ -21,7 +31,7 @@ class GroupByOp(PhysicalOperator):
         self.children = (child,)
         self.keys = tuple(keys)
 
-    def execute(self, state: ExecState) -> PartitionedData:
+    def execute_rows(self, state: ExecState) -> PartitionedData:
         data = self.children[0].run(state)
         keys = self.keys
         partitions = data.partitions
@@ -53,6 +63,42 @@ class GroupByOp(PhysicalOperator):
         columns["count"] = DataType.BIGINT
         return PartitionedData(out_partitions, columns, None)
 
+    def execute_columnar(self, state: ExecState) -> ColumnarData:
+        data = self.children[0].run(state)
+        keys = self.keys
+        partitions = data.materialized()
+        if data.partitioned_on not in keys:
+            key_cols = [[p.column(k) for k in keys] for p in partitions]
+            route_keys = [
+                [tuple(col[i] for col in cols) for i in range(p.length)]
+                for p, cols in zip(partitions, key_cols, strict=True)
+            ]
+            partitions = columnar_hash_exchange(
+                partitions, route_keys, state.cluster.partitions
+            )
+            state.charge(
+                "network", state.cost.hash_exchange(data.modeled_rows, data.row_width)
+            )
+        out_partitions: list[ColumnPartition] = []
+        for partition in partitions:
+            cols = [partition.column(k) for k in keys]
+            counts: dict[tuple, int] = {}
+            for i in range(partition.length):
+                key = tuple(col[i] for col in cols)
+                counts[key] = counts.get(key, 0) + 1
+            out: dict[str, list] = {k: [] for k in keys}
+            out["count"] = []
+            for key, count in counts.items():
+                for k, value in zip(keys, key, strict=True):
+                    out[k].append(value)
+                out["count"].append(count)
+            out_partitions.append(ColumnPartition(out, len(counts)))
+        state.charge("compute", state.cost.probe(data.modeled_rows))
+
+        columns = {k: data.columns.get(k, DataType.STRING) for k in keys}
+        columns["count"] = DataType.BIGINT
+        return ColumnarData(out_partitions, columns, None)
+
     def label(self) -> str:
         return "GroupBy " + ", ".join(self.keys)
 
@@ -64,7 +110,7 @@ class OrderByOp(PhysicalOperator):
         self.children = (child,)
         self.keys = tuple(keys)
 
-    def execute(self, state: ExecState) -> PartitionedData:
+    def execute_rows(self, state: ExecState) -> PartitionedData:
         data = self.children[0].run(state)
         rows = sorted(
             data.all_rows(),
@@ -74,6 +120,37 @@ class OrderByOp(PhysicalOperator):
         partitions = [[] for _ in range(data.partition_count)]
         partitions[0] = rows
         return PartitionedData(partitions, data.columns, None, data.scale)
+
+    def execute_columnar(self, state: ExecState) -> ColumnarData:
+        data = self.children[0].run(state)
+        materialized = data.materialized()
+        names: list[str] = []
+        for partition in materialized:
+            for name in partition.columns:
+                if name not in names:
+                    names.append(name)
+        gathered = {name: [] for name in names}
+        for partition in materialized:
+            for name in names:
+                gathered[name].extend(partition.column(name))
+        total = sum(p.length for p in materialized)
+        key_cols = [
+            gathered.get(k, [None] * total) for k in self.keys
+        ]
+        order = sorted(
+            range(total),
+            key=lambda i: tuple(_sort_key(col[i]) for col in key_cols),
+        )
+        state.charge("compute", state.cost.probe(data.modeled_rows) * 2)
+        sorted_cols = {
+            name: [column[i] for i in order] for name, column in gathered.items()
+        }
+        partitions: list[ColumnPartition] = [
+            ColumnPartition({name: [] for name in names}, 0)
+            for _ in range(data.partition_count)
+        ]
+        partitions[0] = ColumnPartition(sorted_cols, total)
+        return ColumnarData(partitions, data.columns, None, data.scale)
 
     def label(self) -> str:
         return "OrderBy " + ", ".join(self.keys)
@@ -95,7 +172,7 @@ class LimitOp(PhysicalOperator):
         self.children = (child,)
         self.n = n
 
-    def execute(self, state: ExecState) -> PartitionedData:
+    def execute_rows(self, state: ExecState) -> PartitionedData:
         data = self.children[0].run(state)
         remaining = self.n
         partitions = []
@@ -104,6 +181,30 @@ class LimitOp(PhysicalOperator):
             remaining -= len(take)
             partitions.append(take)
         return PartitionedData(
+            partitions, data.columns, data.partitioned_on, data.scale
+        )
+
+    def execute_columnar(self, state: ExecState) -> ColumnarData:
+        data = self.children[0].run(state)
+        remaining = self.n
+        partitions: list[ColumnPartition | LazyRowPartition] = []
+        for partition in data.partitions:
+            take = min(remaining, partition.length)
+            remaining -= take
+            if isinstance(partition, LazyRowPartition):
+                partitions.append(
+                    LazyRowPartition(
+                        partition.rows[:take], partition.prefix, partition.live
+                    )
+                )
+            else:
+                partitions.append(
+                    ColumnPartition(
+                        {n: col[:take] for n, col in partition.columns.items()},
+                        take,
+                    )
+                )
+        return ColumnarData(
             partitions, data.columns, data.partitioned_on, data.scale
         )
 

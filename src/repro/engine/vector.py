@@ -1,0 +1,242 @@
+"""Vectorized execution kernels and engine-mode configuration.
+
+The engine runs in one of two modes (DESIGN.md §10):
+
+- ``rowwise`` — the original tuple-at-a-time interpreter: rows are dicts,
+  operators loop over them one by one.
+- ``vectorized`` — rows flow as fixed-size chunks of parallel column lists
+  (:class:`~repro.engine.data.ColumnarData`); scans read only referenced
+  columns, scan+filter+project fuse into one pass per chunk, and joins
+  build/probe over key columns instead of per-row dicts.
+
+Both modes produce byte-identical rows, plans, phases, traces and
+``JobMetrics`` — the cost clock charges from row counts and the logical
+column map, which the columnar path carries unchanged. The equivalence
+harness (``tests/engine/equivalence.py``) pins this for every strategy and
+bench query.
+
+The kernels here are free functions on purpose: the mutation tests
+monkeypatch them to prove the equivalence harness catches a broken kernel.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.common.rng import stable_hash
+
+ENGINE_ROWWISE = "rowwise"
+ENGINE_VECTORIZED = "vectorized"
+ENGINES = (ENGINE_ROWWISE, ENGINE_VECTORIZED)
+
+#: Rows per chunk in the fused scan/filter/project kernel. Chunk size never
+#: leaks into results or simulated cost (pinned by the chunking property
+#: test); it only bounds the working set of one kernel invocation.
+DEFAULT_CHUNK_SIZE = 1024
+
+_default_engine = os.environ.get("REPRO_ENGINE", ENGINE_VECTORIZED)
+
+
+def default_engine() -> str:
+    """The engine mode used when a Session/Executor does not pick one."""
+    return _default_engine
+
+
+def set_default_engine(name: str) -> str:
+    """Set the process-wide default engine mode; returns the previous one."""
+    global _default_engine
+    previous = _default_engine
+    _default_engine = resolve_engine(name)
+    return previous
+
+
+def resolve_engine(name: str | None) -> str:
+    """Validate an engine name; ``None`` means the process default."""
+    if name is None:
+        name = _default_engine
+    if name not in ENGINES:
+        raise ValueError(f"unknown engine {name!r}; choose from {ENGINES}")
+    return name
+
+
+# -- fused scan + filter + project ---------------------------------------------
+
+
+def fused_filter_project(
+    partition,
+    predicates: tuple,
+    live: tuple[str, ...],
+    evaluation,
+    chunk_size: int,
+) -> tuple[dict[str, list], int]:
+    """One pass over a lazy scan partition in chunks: filter, then project.
+
+    ``partition`` is a :class:`~repro.engine.data.LazyRowPartition`: its
+    ``prefix`` is the scan alias qualifier (empty for intermediates, whose
+    stored names are already qualified) and ``storage_column`` serves each
+    referenced field as one flat list — pivoted from the stored rows once
+    per dataset lifetime and memoized. ``live`` names the qualified columns
+    to materialize for surviving rows — the projection part of the fusion;
+    columns the query never references are never pivoted at all.
+
+    Per chunk the survivor index list is refined predicate by predicate
+    (mirroring the row-wise ``all()`` conjunction, including its
+    short-circuit order), and only then are the live columns gathered for
+    the survivors.
+    """
+    prefix = partition.prefix
+    plen = len(prefix)
+    pred_cols = []
+    for predicate in predicates:
+        column = predicate.column
+        key = column[plen:] if plen and column.startswith(prefix) else column
+        pred_cols.append(partition.storage_column(key))
+    out_columns = []
+    for name in live:
+        key = name[plen:] if plen and name.startswith(prefix) else name
+        out_columns.append((name, partition.storage_column(key)))
+
+    out: dict[str, list] = {name: [] for name in live}
+    length = 0
+    for start in range(0, partition.length, chunk_size):
+        stop = min(start + chunk_size, partition.length)
+        survivors: list[int] | range = range(start, stop)
+        for predicate, col in zip(predicates, pred_cols):
+            if not survivors:
+                break
+            values = [col[i] for i in survivors]
+            mask = predicate.evaluate_batch(values, evaluation)
+            survivors = [i for i, ok in zip(survivors, mask) if ok]
+        if not survivors:
+            continue
+        length += len(survivors)
+        for name, col in out_columns:
+            out[name].extend([col[i] for i in survivors])
+    return out, length
+
+
+def filter_columns(
+    columns: dict[str, list],
+    length: int,
+    predicates: tuple,
+    evaluation,
+    chunk_size: int,
+) -> tuple[dict[str, list], int]:
+    """Filter an already-columnar partition, chunk by chunk.
+
+    Same survivor-refinement contract as :func:`fused_filter_project`; the
+    gather step copies every physical column for the surviving indices.
+    """
+    names = list(columns)
+    pred_cols = [columns.get(p.column) for p in predicates]
+    out: dict[str, list] = {name: [] for name in names}
+    out_length = 0
+    for start in range(0, length, chunk_size):
+        stop = min(start + chunk_size, length)
+        survivors: list[int] | range = range(start, stop)
+        for predicate, col in zip(predicates, pred_cols):
+            if not survivors:
+                break
+            if col is None:
+                values: list = [None] * len(survivors)
+            else:
+                values = [col[i] for i in survivors]
+            mask = predicate.evaluate_batch(values, evaluation)
+            survivors = [i for i, ok in zip(survivors, mask) if ok]
+        if not survivors:
+            continue
+        out_length += len(survivors)
+        for name in names:
+            col = columns[name]
+            out[name].extend(col[i] for i in survivors)
+    return out, out_length
+
+
+# -- hash-join kernels ---------------------------------------------------------
+
+
+def join_key_column(
+    columns: dict[str, list], length: int, keys: tuple[str, ...]
+) -> list:
+    """Per-row join keys from key columns; ``None`` marks a null key.
+
+    Single-column keys use the raw value (``None`` stays ``None``);
+    composite keys become tuples, collapsed to ``None`` when any component
+    is null — exactly the row-wise ``_key_fn`` contract.
+    """
+    if len(keys) == 1:
+        col = columns.get(keys[0])
+        return list(col) if col is not None else [None] * length
+
+    parts = [
+        columns.get(k) if columns.get(k) is not None else [None] * length
+        for k in keys
+    ]
+    return [
+        None if any(part is None for part in key) else key
+        for key in zip(*parts)
+    ]
+
+
+def build_hash_table(key_column: list) -> dict:
+    """Row positions per key, skipping null keys (SQL: never match)."""
+    table: dict = {}
+    for position, key in enumerate(key_column):
+        if key is not None:
+            table.setdefault(key, []).append(position)
+    return table
+
+
+def probe_hash_table(table: dict, key_column: list) -> tuple[list[int], list[int]]:
+    """Batched probe: (build positions, probe positions) per output row.
+
+    Output order matches the row-wise nested loop — probe rows in order,
+    matches in build insertion order — so gathered outputs are identical.
+    """
+    build_idx: list[int] = []
+    probe_idx: list[int] = []
+    get = table.get
+    for position, key in enumerate(key_column):
+        if key is None:
+            continue
+        matches = get(key)
+        if matches:
+            build_idx.extend(matches)
+            probe_idx.extend([position] * len(matches))
+    return build_idx, probe_idx
+
+
+def gather(column: list, positions: list[int]) -> list:
+    return [column[i] for i in positions]
+
+
+# -- exchange routing ----------------------------------------------------------
+
+#: Per-partition-count route memos shared across exchanges. Routing is a pure
+#: function of (key value, partition count) — ``stable_hash(key) % count`` —
+#: so the cache can outlive any single exchange or query.
+_route_caches: dict[int, dict] = {}
+
+
+def shared_route_cache(partition_count: int) -> dict:
+    cache = _route_caches.get(partition_count)
+    if cache is None:
+        cache = _route_caches[partition_count] = {}
+    return cache
+
+
+def route_partitions(key_values: list, partition_count: int, cache: dict) -> list[int]:
+    """Destination partition per row: ``stable_hash(key) % partition_count``.
+
+    Routing is a pure function of the key value, so repeated keys reuse the
+    cached slot instead of re-hashing — same assignment as the row-wise
+    exchange, far fewer blake2b calls.
+    """
+    routes = []
+    for key in key_values:
+        slot = cache.get(key)
+        if slot is None:
+            slot = stable_hash(key) % partition_count
+            cache[key] = slot
+        routes.append(slot)
+    return routes

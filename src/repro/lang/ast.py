@@ -54,6 +54,16 @@ class Predicate:
     def evaluate(self, row: dict, context: EvaluationContext) -> bool:
         raise NotImplementedError
 
+    def evaluate_batch(self, values: list, context: EvaluationContext) -> list[bool]:
+        """Vectorized form: one boolean per value of this predicate's column.
+
+        Must decide exactly as ``evaluate`` does on ``{column: value}`` rows —
+        the vectorized engine's filter kernels rely on that equivalence.
+        Subclasses override with loops specialized per operator; this
+        fallback delegates to ``evaluate`` row by row.
+        """
+        return [self.evaluate({self.column: v}, context) for v in values]
+
     def describe(self) -> str:
         raise NotImplementedError
 
@@ -75,6 +85,9 @@ class ComparisonPredicate(Predicate):
     def evaluate(self, row: dict, context: EvaluationContext) -> bool:
         return _compare(row.get(self.column), self.op, self.value)
 
+    def evaluate_batch(self, values: list, context: EvaluationContext) -> list[bool]:
+        return _compare_batch(values, self.op, self.value)
+
     def describe(self) -> str:
         return f"{self.column} {self.op} {self.value!r}"
 
@@ -91,6 +104,10 @@ class BetweenPredicate(Predicate):
         if value is None:
             return False
         return self.low <= value <= self.high
+
+    def evaluate_batch(self, values: list, context: EvaluationContext) -> list[bool]:
+        low, high = self.low, self.high
+        return [v is not None and low <= v <= high for v in values]
 
     def describe(self) -> str:
         return f"{self.column} BETWEEN {self.low!r} AND {self.high!r}"
@@ -117,6 +134,15 @@ class ParameterPredicate(Predicate):
             raise QueryError(f"unbound query parameter ${self.parameter}")
         return _compare(row.get(self.column), self.op, context.parameters[self.parameter])
 
+    def evaluate_batch(self, values: list, context: EvaluationContext) -> list[bool]:
+        if not values:
+            # The row-wise engine only notices an unbound parameter when some
+            # row actually reaches this predicate; match that.
+            return []
+        if self.parameter not in context.parameters:
+            raise QueryError(f"unbound query parameter ${self.parameter}")
+        return _compare_batch(values, self.op, context.parameters[self.parameter])
+
     def describe(self) -> str:
         return f"{self.column} {self.op} ${self.parameter}"
 
@@ -142,6 +168,12 @@ class UdfPredicate(Predicate):
         fn = context.udfs.get(self.udf)
         return _compare(fn(row.get(self.column)), self.op, self.value)
 
+    def evaluate_batch(self, values: list, context: EvaluationContext) -> list[bool]:
+        fn = context.udfs.get(self.udf)
+        # The UDF is applied to every value, nulls included, exactly as the
+        # row-wise path does (a UDF that rejects None raises in both modes).
+        return _compare_batch([fn(v) for v in values], self.op, self.value)
+
     def describe(self) -> str:
         return f"{self.udf}({self.column}) {self.op} {self.value!r}"
 
@@ -161,6 +193,23 @@ def _compare(left: object, op: str, right: object) -> bool:
         return left > right
     if op == ">=":
         return left >= right
+    raise QueryError(f"unsupported comparison operator {op!r}")
+
+
+def _compare_batch(values: list, op: str, right: object) -> list[bool]:
+    """``_compare`` over a column, with the operator dispatched once."""
+    if op == "=":
+        return [v is not None and v == right for v in values]
+    if op == "!=":
+        return [v is not None and v != right for v in values]
+    if op == "<":
+        return [v is not None and v < right for v in values]
+    if op == "<=":
+        return [v is not None and v <= right for v in values]
+    if op == ">":
+        return [v is not None and v > right for v in values]
+    if op == ">=":
+        return [v is not None and v >= right for v in values]
     raise QueryError(f"unsupported comparison operator {op!r}")
 
 

@@ -51,6 +51,8 @@ class Session:
         scheduler_config: SchedulerConfig | None = None,
         job_slots: int | None = None,
         verify_plans: bool = True,
+        engine: str | None = None,
+        chunk_size: int | None = None,
     ) -> None:
         self.cluster = cluster or default_cluster()
         if job_slots is not None:
@@ -69,6 +71,8 @@ class Session:
             self.udfs,
             cost_parameters,
             verify_plans=verify_plans,
+            engine=engine,
+            chunk_size=chunk_size,
         )
         self.scheduler_config = scheduler_config
         self.scheduler = JobScheduler(self.executor, scheduler_config)

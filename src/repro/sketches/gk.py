@@ -51,6 +51,8 @@ class GKQuantileSketch:
         self._buffer: list[float] = []
         # Buffering amortizes insertion cost: we sort and bulk-insert.
         self._buffer_cap = max(16, int(1.0 / epsilon))
+        # Memoized quantile() answers; invalidated on every summary change.
+        self._quantile_cache: dict[float, float] = {}
 
     def __len__(self) -> int:
         return self._count + len(self._buffer)
@@ -73,6 +75,7 @@ class GKQuantileSketch:
     def _flush(self) -> None:
         if not self._buffer:
             return
+        self._quantile_cache.clear()
         for value in sorted(self._buffer):
             self._insert_sorted(value)
         self._buffer.clear()
@@ -136,16 +139,22 @@ class GKQuantileSketch:
         self._flush()
         if self._count == 0:
             raise StatisticsError("cannot query quantiles of an empty sketch")
+        cached = self._quantile_cache.get(q)
+        if cached is not None:
+            return cached
         target = q * (self._count - 1) + 1
         budget = self._threshold() / 2 + 1
         rmin = 0
+        result = self._entries[-1].value
         for i, entry in enumerate(self._entries):
             rmin += entry.g
             rmax = rmin + entry.delta
             if target <= rmax + budget or i == len(self._entries) - 1:
                 if rmin + budget >= target:
-                    return entry.value
-        return self._entries[-1].value
+                    result = entry.value
+                    break
+        self._quantile_cache[q] = result
+        return result
 
     def quantiles(self, buckets: int) -> list[float]:
         """Right borders of ``buckets`` equi-height buckets (Section 4).

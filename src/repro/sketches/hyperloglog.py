@@ -42,6 +42,8 @@ class HyperLogLog:
         self._m = 1 << precision
         self._registers = bytearray(self._m)
         self._count = 0  # raw insertions, handy for tests/diagnostics
+        # Memoized cardinality(); invalidated whenever a register changes.
+        self._cardinality_cache: float | None = None
 
     def add(self, value: object) -> None:
         """Insert one value (any hashable/reprable object)."""
@@ -56,6 +58,7 @@ class HyperLogLog:
             remaining >>= 1
         if rank > self._registers[index]:
             self._registers[index] = rank
+            self._cardinality_cache = None
         self._count += 1
 
     def extend(self, values) -> None:
@@ -63,7 +66,14 @@ class HyperLogLog:
             self.add(value)
 
     def cardinality(self) -> float:
-        """Estimated number of distinct inserted values."""
+        """Estimated number of distinct inserted values.
+
+        The register scan is the expensive part (``2**p`` registers), so the
+        estimate is memoized until the next register update — the planner
+        re-reads the same frozen sketches at every re-optimization point.
+        """
+        if self._cardinality_cache is not None:
+            return self._cardinality_cache
         m = self._m
         inverse_sum = 0.0
         zeros = 0
@@ -74,7 +84,8 @@ class HyperLogLog:
         estimate = _alpha(m) * m * m / inverse_sum
         if estimate <= 2.5 * m and zeros:
             # Linear counting regime.
-            return m * math.log(m / zeros)
+            estimate = m * math.log(m / zeros)
+        self._cardinality_cache = estimate
         return estimate
 
     def merge(self, other: HyperLogLog) -> HyperLogLog:

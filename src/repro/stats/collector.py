@@ -87,6 +87,22 @@ class StatisticsCollector:
         for row in rows:
             self.observe_row(row)
 
+    def observe_columns(self, columns: dict, length: int) -> None:
+        """Columnar twin of ``observe_row`` over a batch of parallel columns.
+
+        Sketch state depends only on the per-field sequence of observed
+        values, so feeding each tracked field its column in row order leaves
+        GK/HLL state identical to ``length`` calls of ``observe_row``.
+        """
+        self.row_count += length
+        for name, stats in self.fields.items():
+            column = columns.get(name)
+            if column is None:
+                stats.null_count += length
+                continue
+            for value in column:
+                stats.observe(value)
+
     @property
     def tracked_field_names(self) -> list[str]:
         return list(self.fields)

@@ -50,6 +50,13 @@ class Dataset:
     #: on modeled volumes (row_count * scale); join processing and
     #: statistics operate on the stored rows.
     scale: float = 1.0
+    #: Lazily built per-partition columnar projections (field -> value list),
+    #: shared by every vectorized scan of this dataset. Stored rows are
+    #: treated as immutable after registration, so a column extracted once
+    #: stays valid for the dataset's lifetime.
+    _column_caches: list[dict[str, list]] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def partition_count(self) -> int:
@@ -72,6 +79,12 @@ class Dataset:
         """Iterate all rows across partitions (test/inspection helper)."""
         for partition in self.partitions:
             yield from partition
+
+    def column_cache(self, partition_index: int) -> dict[str, list]:
+        """The columnar projection memo for one partition (vectorized scans)."""
+        if self._column_caches is None:
+            self._column_caches = [{} for _ in self.partitions]
+        return self._column_caches[partition_index]
 
     # -- secondary indexes --------------------------------------------------
 

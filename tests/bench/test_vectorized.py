@@ -1,0 +1,53 @@
+"""Host-speed regression guard for the vectorized engine.
+
+The vectorized engine exists to buy host time (DESIGN.md §10) — simulated
+results are byte-identical to row-wise by construction, so wall-clock is the
+only axis a regression can hide on. This test pins a generous ceiling on the
+throughput smoke bench and records the measured host time into
+``bench_report.txt`` (a local, gitignored artifact), so future PRs leave an
+auditable trail of hot-path timings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from time import perf_counter
+
+from repro.bench.throughput import run_throughput
+
+#: Generous wall-clock ceiling: the smoke batch finishes in well under a
+#: second on any development machine; the ceiling only trips on an
+#: order-of-magnitude hot-path regression (e.g. the fused kernel silently
+#: falling back to per-row dict work), not on CI jitter.
+CEILING_SECONDS = 120.0
+
+REPORT_PATH = Path(__file__).resolve().parents[2] / "bench_report.txt"
+
+
+def _record(line: str) -> None:
+    with REPORT_PATH.open("a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+
+
+class TestVectorizedHostSpeed:
+    def test_smoke_bench_completes_under_ceiling(self):
+        started = perf_counter()
+        report = run_throughput(
+            scale_factor=10, query_count=2, engine="vectorized"
+        )
+        elapsed = perf_counter() - started
+        assert report.engine == "vectorized"
+        # host_seconds excludes workbench ingestion; the outer clock bounds
+        # the whole call so ingestion regressions are caught too.
+        assert 0.0 < report.host_seconds <= elapsed
+        assert elapsed < CEILING_SECONDS
+        _record(
+            "throughput smoke (SF 10, 2 queries, vectorized engine): "
+            f"{report.host_seconds:.3f}s engine host time, "
+            f"{elapsed:.3f}s including ingestion"
+        )
+
+    def test_host_time_recorded(self):
+        assert REPORT_PATH.exists()
+        lines = REPORT_PATH.read_text(encoding="utf-8").splitlines()
+        assert any("vectorized engine" in line for line in lines)

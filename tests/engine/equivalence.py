@@ -1,0 +1,195 @@
+"""Cross-engine equivalence harness: row-wise vs vectorized, byte for byte.
+
+DESIGN.md §10 promises that the vectorized engine is purely a data-plane
+mode: for any query and strategy it must reproduce the row-wise engine's
+rows, plans, phases, ``JobMetrics`` (including ``repr``-exact floats),
+execution trace, schedule record, and cluster timeline. This module is the
+instrument that proves it — an extension of the schedule-fingerprint A/B
+diffing used by the space-sharing tests, widened to span engines.
+
+``run_fingerprint`` executes one bench query under one strategy on one
+engine and flattens everything observable into a dict of strings;
+``assert_engines_equivalent`` runs both engines and diffs the dicts
+component by component, so a regression names the first diverging facet
+("metrics", "rows", "timeline", ...) instead of dumping two blobs.
+
+The mutation tests reuse the same entry points: they patch a kernel in
+``repro.engine.vector`` and assert the harness *fails*, which keeps the
+harness itself honest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields, replace
+
+from repro.bench.runner import QUERIES, workbench_for_query
+from repro.engine.scheduler import JobScheduler, SchedulerConfig
+from repro.engine.vector import ENGINE_ROWWISE, ENGINE_VECTORIZED
+from repro.optimizers import OPTIMIZERS
+from repro.spec import PlannerSpec
+
+#: every registered strategy; the equivalence sweep covers all of them.
+ALL_STRATEGIES = tuple(sorted(OPTIMIZERS))
+#: the paper's four evaluation queries.
+ALL_QUERIES = tuple(QUERIES)
+#: the facets a fingerprint captures, in diff-report order.
+FACETS = (
+    "rows",
+    "metrics",
+    "plan",
+    "phases",
+    "trace",
+    "schedule",
+    "timeline",
+    "chrome_trace",
+    "decisions",
+)
+
+
+def canonical_rows(rows: list[dict]) -> str:
+    """Rows as canonical JSON: key order inside a row is not significant
+    (the two engines build output dicts in different orders for INL), row
+    order and every value are."""
+    return json.dumps(rows, sort_keys=True, default=repr)
+
+
+def metrics_fingerprint(metrics) -> str:
+    """Every JobMetrics field with full float precision (``repr``-exact)."""
+    return " ".join(
+        f"{f.name}={getattr(metrics, f.name)!r}"
+        for f in fields(metrics)
+        if not f.name.startswith("_")
+    )
+
+
+def schedule_fingerprint(schedule) -> str:
+    if schedule is None:
+        return "none"
+    return " ".join(
+        f"{name}={getattr(schedule, name)!r}"
+        for name in (
+            "query_id",
+            "priority",
+            "submitted_at",
+            "admitted_at",
+            "finished_at",
+            "queue_delay_seconds",
+            "busy_seconds",
+            "error",
+        )
+    )
+
+
+def run_fingerprint(
+    label: str,
+    optimizer: str,
+    engine: str,
+    scale_factor: int = 10,
+    seed: int = 42,
+    inl_enabled: bool = False,
+    **options,
+) -> dict[str, str]:
+    """Execute one bench query on one engine; return its observable state.
+
+    Runs through a single-slot :class:`JobScheduler` — the same path as
+    ``Session.execute`` — but keeps the scheduler so the cluster timeline
+    and chrome trace land in the fingerprint too. The cached workbench
+    session is shared across engines (ingestion is engine-independent); the
+    executor's engine attribute is flipped for the duration of the run and
+    always restored.
+    """
+    bench = workbench_for_query(label, scale_factor, seed)
+    session = bench.session
+    if inl_enabled:
+        bench.ensure_indexes()
+        options["inl_enabled"] = True
+    config = replace(
+        session.scheduler_config or SchedulerConfig(),
+        batch_pushdown_scans=False,
+        job_slots=1,
+    )
+    previous = session.executor.engine
+    session.executor.engine = engine
+    try:
+        scheduler = JobScheduler(session.executor, config)
+        handle = scheduler.submit(
+            bench.query(label),
+            PlannerSpec.of(optimizer, **options).make(),
+            session,
+        )
+        scheduler.run_all()
+        result = handle.result()
+        return {
+            "rows": canonical_rows(result.rows),
+            "metrics": metrics_fingerprint(result.metrics),
+            "plan": result.plan_description,
+            "phases": repr(list(result.phases)),
+            "trace": result.trace.to_json() if result.trace else "none",
+            "schedule": schedule_fingerprint(result.schedule),
+            "timeline": scheduler.timeline.render(),
+            "chrome_trace": scheduler.timeline.to_chrome_trace(),
+            "decisions": repr(tuple(result.decisions)),
+        }
+    finally:
+        session.executor.engine = previous
+        session.reset_intermediates()
+
+
+def diff_fingerprints(
+    rowwise: dict[str, str], vectorized: dict[str, str]
+) -> list[str]:
+    """Names of the facets where the two engines diverge."""
+    return [facet for facet in FACETS if rowwise[facet] != vectorized[facet]]
+
+
+def assert_engines_equivalent(
+    label: str,
+    optimizer: str,
+    scale_factor: int = 10,
+    seed: int = 42,
+    inl_enabled: bool = False,
+    **options,
+) -> dict[str, str]:
+    """Run both engines and assert byte-identity facet by facet.
+
+    Returns the (shared) fingerprint so callers can pin it further.
+    """
+    rowwise = run_fingerprint(
+        label,
+        optimizer,
+        ENGINE_ROWWISE,
+        scale_factor,
+        seed,
+        inl_enabled,
+        **options,
+    )
+    vectorized = run_fingerprint(
+        label,
+        optimizer,
+        ENGINE_VECTORIZED,
+        scale_factor,
+        seed,
+        inl_enabled,
+        **options,
+    )
+    divergent = diff_fingerprints(rowwise, vectorized)
+    if divergent:
+        details = []
+        for facet in divergent:
+            a, b = rowwise[facet], vectorized[facet]
+            position = next(
+                (i for i, (x, y) in enumerate(zip(a, b)) if x != y),
+                min(len(a), len(b)),
+            )
+            window = slice(max(0, position - 40), position + 40)
+            details.append(
+                f"{facet}: first divergence at char {position}\n"
+                f"  rowwise    ...{a[window]!r}\n"
+                f"  vectorized ...{b[window]!r}"
+            )
+        raise AssertionError(
+            f"{label}/{optimizer}: engines diverge on "
+            f"{', '.join(divergent)}\n" + "\n".join(details)
+        )
+    return rowwise
