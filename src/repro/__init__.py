@@ -20,22 +20,29 @@ Public entry points:
 - :mod:`repro.analysis` — static analysis: the plan/job verifier behind the
   verify-on-compile gate (:class:`repro.Diagnostic` /
   :class:`repro.PlanVerificationError`) and the engine determinism lint.
+- :class:`repro.QueryService` / :class:`repro.ServiceConfig` — the
+  multi-tenant query service: one shared scheduler and persistent
+  feedback/sketch store serving many tenant sessions, with result and
+  intermediate caching under admission control (DESIGN.md §11).
 """
 
 from repro.analysis.diagnostics import Diagnostic, PlanVerificationError
 from repro.cluster.config import ClusterConfig, default_cluster
+from repro.common.errors import AdmissionError
 from repro.core.policy import FeedbackLog, PolicyDecision, ReplanPolicy
 from repro.engine.metrics import ExecutionResult, JobMetrics
 from repro.lang.builder import QueryBuilder
 from repro.lang.udf import UdfRegistry, default_registry
 from repro.obs.report import ExplainReport
 from repro.obs.trace import QueryTrace
+from repro.service import QueryService, ServiceConfig, ServiceStore
 from repro.session import Session
 from repro.spec import PlannerSpec
 
 __version__ = "1.1.0"
 
 __all__ = [
+    "AdmissionError",
     "ClusterConfig",
     "Diagnostic",
     "ExecutionResult",
@@ -46,8 +53,11 @@ __all__ = [
     "PlannerSpec",
     "PolicyDecision",
     "QueryBuilder",
+    "QueryService",
     "QueryTrace",
     "ReplanPolicy",
+    "ServiceConfig",
+    "ServiceStore",
     "Session",
     "UdfRegistry",
     "default_cluster",

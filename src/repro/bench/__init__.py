@@ -23,6 +23,13 @@ from repro.bench.runner import (
     workbench,
     workbench_for_query,
 )
+from repro.bench.service import (
+    ServiceReport,
+    check_baseline,
+    format_service,
+    run_service,
+    service_templates,
+)
 from repro.bench.table1 import (
     PAPER_TABLE1,
     ImprovementRow,
@@ -53,9 +60,11 @@ __all__ = [
     "PlanEntry",
     "QUERIES",
     "SCALE_FACTORS",
+    "ServiceReport",
     "ThroughputReport",
     "VERIFY_OPTIMIZERS",
     "VerifyRow",
+    "check_baseline",
     "clear_cache",
     "comparison_row",
     "figure6",
@@ -65,14 +74,17 @@ __all__ = [
     "format_matrix",
     "format_reports",
     "format_rows",
+    "format_service",
     "format_throughput",
     "format_verify",
     "improvement_rows",
     "overhead_report",
     "plan_matrix",
     "run_query",
+    "run_service",
     "run_throughput",
     "run_verify",
+    "service_templates",
     "throughput_queries",
     "verify_cell",
     "verify_ok",

@@ -17,6 +17,7 @@ from repro.bench import (
     overhead,
     plans,
     runner,
+    service,
     table1,
     throughput,
     verify,
@@ -30,6 +31,7 @@ EXPERIMENTS = (
     "plans",
     "qerror",
     "throughput",
+    "service",
     "feedback",
     "verify",
 )
@@ -65,6 +67,18 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke",
         action="store_true",
         help="tiny fast configuration (used by CI to exercise the code paths)",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="service experiment: fail (exit 1) when tail latency or cache "
+        "hit rate drifts beyond tolerance of the recorded baseline",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="service experiment: record the run as the new baseline "
+        f"({service.BASELINE_PATH})",
     )
     parser.add_argument(
         "--engine",
@@ -136,6 +150,20 @@ def main(argv: list[str] | None = None) -> int:
             )
             print(throughput.format_throughput(report))
         print()
+    failed = False
+    if "service" in chosen:
+        print("=== Query service: tail latency under a skewed multi-tenant load ===")
+        service_report = service.run_service(seed=args.seed, smoke=args.smoke)
+        print(service.format_service(service_report))
+        if args.write_baseline:
+            service.write_baseline(service_report)
+            print(f"baseline recorded at {service.BASELINE_PATH}")
+        if args.check_baseline:
+            violations = service.check_baseline(service_report)
+            for violation in violations:
+                print(f"BASELINE VIOLATION: {violation}")
+            failed = failed or bool(violations)
+        print()
     if "feedback" in chosen:
         print("=== Feedback-driven re-planning: fixed schedule vs ReplanPolicy ===")
         print(
@@ -144,7 +172,6 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
         print()
-    failed = False
     if "verify" in chosen:
         print("=== Verifier sweep: every strategy must compile clean jobs ===")
         verify_sfs = (

@@ -41,3 +41,7 @@ class StatisticsError(ReproError):
 
 class ParseError(QueryError):
     """The miniature SQL parser rejected its input."""
+
+
+class AdmissionError(ReproError):
+    """The scheduler's bounded admission queue rejected a submission."""

@@ -236,7 +236,8 @@ class DynamicOptimizer(Optimizer):
             namespace=namespace,
             # Resolved once per run: adaptive policies read the session's
             # FeedbackLog here; the fixed schedule gets the paper constants.
-            thresholds=self.policy.resolve(session),
+            # Dataset-keyed stores narrow the history to this query's group.
+            thresholds=self.policy.resolve(session, query=query),
         )
 
         if self.pushdown_enabled:

@@ -157,18 +157,24 @@ class ReplanPolicy:
 
     # -- resolution -----------------------------------------------------------
 
-    def resolve(self, session=None) -> RuntimeThresholds:
+    def resolve(self, session=None, query=None) -> RuntimeThresholds:
         """The thresholds one run should execute under.
 
         Disabled policies resolve to the paper's static constants; adaptive
         ones consult the session's :class:`FeedbackLog` (falling back to the
-        static constants until enough history accumulates).
+        static constants until enough history accumulates). ``query`` is the
+        query about to run, when known: dataset-keyed feedback stores (the
+        query service's :class:`~repro.service.store.StoredFeedback`) use it
+        to derive thresholds from the history of that query's dataset group
+        instead of the whole workload; the base log ignores it.
         """
         if not self.enabled:
             return RuntimeThresholds()
         feedback = getattr(session, "feedback", None) if session is not None else None
         if self.adaptive and feedback is not None:
-            return feedback.derive(self, getattr(session, "cluster", None))
+            return feedback.derive(
+                self, getattr(session, "cluster", None), query=query
+            )
         return RuntimeThresholds(qerror_threshold=self.qerror_threshold)
 
     # -- stage verdicts -------------------------------------------------------
@@ -215,8 +221,15 @@ class FeedbackLog:
 
     # -- observation ----------------------------------------------------------
 
-    def observe_result(self, result) -> None:
-        """Fold one finished execution into the history."""
+    def observe_result(self, result, datasets: tuple[str, ...] = ()) -> None:
+        """Fold one finished execution into the history.
+
+        ``datasets`` names the base datasets the query read, when the caller
+        knows them (the scheduler passes the query's FROM-clause datasets).
+        The base log keeps one undifferentiated history and ignores them;
+        dataset-keyed stores override this to route the observation into the
+        matching per-dataset-group log as well.
+        """
         self.queries += 1
         metrics = getattr(result, "metrics", None)
         if metrics is not None:
@@ -263,10 +276,48 @@ class FeedbackLog:
         spilled = sum(1 for spill, _ in self.query_costs if spill > 0.0)
         return spilled / len(self.query_costs)
 
+    # -- persistence ----------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serializable snapshot of the full history window."""
+        return {
+            "window": self.window,
+            "q_errors": list(self.q_errors),
+            "query_costs": [[spill, total] for spill, total in self.query_costs],
+            "infinite_records": self.infinite_records,
+            "queries": self.queries,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> FeedbackLog:
+        """Rebuild a log from :meth:`to_state` output.
+
+        Derivation is a pure function of the restored deques, so a
+        round-tripped log produces identical :class:`RuntimeThresholds`.
+        """
+        log = cls(int(state["window"]))
+        log.restore_state(state)
+        return log
+
+    def restore_state(self, state: dict) -> None:
+        """Load :meth:`to_state` output into this log in place."""
+        self.q_errors.clear()
+        self.q_errors.extend(float(q) for q in state["q_errors"])
+        self.query_costs.clear()
+        self.query_costs.extend(
+            (float(spill), float(total)) for spill, total in state["query_costs"]
+        )
+        self.infinite_records = int(state["infinite_records"])
+        self.queries = int(state["queries"])
+
     # -- derivation -----------------------------------------------------------
 
-    def derive(self, policy: ReplanPolicy, cluster=None) -> RuntimeThresholds:
+    def derive(self, policy: ReplanPolicy, cluster=None, query=None) -> RuntimeThresholds:
         """Adaptive thresholds from the observed history.
+
+        ``query`` is accepted for interface compatibility with dataset-keyed
+        stores (which narrow the history to the query's dataset group); the
+        base log derives from its single undifferentiated window.
 
         - **Trigger threshold** converges to the 75th percentile of the
           observed finite Q-errors (clamped to ``[2, 8x the configured

@@ -43,6 +43,28 @@ def intermediate_name_for(alias: str, namespace: str = "") -> str:
     return f"{namespace}__filtered_{alias}"
 
 
+def pushdown_cache_token(candidate, stats_columns, parameters) -> str:
+    """Namespace-free identity of one push-down materialization.
+
+    Two requests with equal tokens perform byte-identical work over the same
+    base dataset (same predicates, projection, sketched columns, and bound
+    parameter values), so the service's intermediate cache may replay one's
+    output for the other. The query's namespace and alias are deliberately
+    excluded — the replay re-registers under the requesting query's names.
+    """
+    bound = sorted((k, repr(v)) for k, v in (parameters or {}).items())
+    return "|".join(
+        [
+            "pushdown",
+            candidate.table.dataset,
+            repr(candidate.predicates),
+            repr(tuple(candidate.keep_columns)),
+            repr(tuple(stats_columns)),
+            repr(bound),
+        ]
+    )
+
+
 def join_columns_of(query: Query) -> set[str]:
     columns = set()
     for condition in query.joins:
@@ -113,6 +135,9 @@ def pushdown_stages(
                 estimate=estimate,
                 batch_key=candidate.table.dataset,
                 kind="pushdown",
+                cache_token=pushdown_cache_token(
+                    candidate, stats_columns, query.parameters
+                ),
             )
         )
     if requests:

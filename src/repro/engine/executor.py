@@ -53,6 +53,10 @@ class Executor:
         #: (DESIGN.md §10).
         self.engine = engine if engine is None else vector.resolve_engine(engine)
         self.chunk_size = chunk_size
+        #: intermediate-result cache (set by the query service; ``None`` for
+        #: plain sessions). Consulted by the scheduler's request runner, not
+        #: by ``execute`` itself, so the executor stays stateless per job.
+        self.cache = None
 
     def execute(
         self,

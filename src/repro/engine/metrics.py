@@ -104,7 +104,37 @@ class ExecutionResult:
         return self.metrics.total_seconds
 
     def explain_analyze(self) -> str:
-        """Plan-with-actuals report; requires a captured trace."""
-        if self.trace is None:
-            return "no execution trace captured"
-        return self.trace.explain_analyze()
+        """Plan-with-actuals report; requires a captured trace.
+
+        When the query ran through a scheduler under contention (or was
+        answered from a service's result cache), the report is suffixed with
+        the scheduling annotations — queueing delay and cache-hit status —
+        so the gap between a query's own work and its observed latency is
+        visible in the same place as the plan. A solo zero-delay run renders
+        exactly as before.
+        """
+        body = (
+            "no execution trace captured"
+            if self.trace is None
+            else self.trace.explain_analyze()
+        )
+        schedule = self.schedule
+        if schedule is None:
+            return body
+        notes = []
+        if getattr(schedule, "cache_hit", False):
+            notes.append(
+                "answered from result cache (zero cluster work, "
+                f"latency {schedule.latency_seconds:.2f}s on the shared clock)"
+            )
+        if schedule.queue_delay_seconds > 0.0:
+            notes.append(
+                f"queue delay {schedule.queue_delay_seconds:.2f}s "
+                f"(submitted {schedule.submitted_at:.2f}s, "
+                f"finished {schedule.finished_at:.2f}s"
+                + (f", tenant {schedule.tenant!r}" if schedule.tenant else "")
+                + ")"
+            )
+        if not notes:
+            return body
+        return body + "\n" + "\n".join(f"-- schedule: {note}" for note in notes)

@@ -73,6 +73,12 @@ class JobRequest:
     batch_key: str | None = None
     #: driver phase family: "pushdown" | "join" | "final" | "pilot" | ...
     kind: str = "job"
+    #: namespace-free identity of the work this request performs, set by
+    #: drivers for requests whose materialized output may be served from the
+    #: service's intermediate cache (pushdown filters: base dataset +
+    #: predicates + projection). ``None`` means "never cache me". The token
+    #: is inert unless the executor carries a cache (query-service runs).
+    cache_token: str | None = None
 
 
 @dataclass
@@ -117,6 +123,26 @@ def _perform(
     scan_share: tuple[int, int] | None,
     partitions: int | None,
 ) -> JobOutcome:
+    # Intermediate cache (query-service runs only; ``executor.cache`` is
+    # None everywhere else). A cacheable request launched on its own —
+    # never as a branch of a merged scan, whose 1/n discounting assumes
+    # every branch physically shares the scan — may replay a previously
+    # materialized pushdown result: the intermediate dataset and its
+    # statistics are re-registered under this request's names at zero
+    # simulated cost, and on a miss the fresh materialization is stored.
+    cache = getattr(executor, "cache", None)
+    cacheable = (
+        cache is not None
+        and request.cache_token is not None
+        and request.virtual_cost is None
+        and scan_share is None
+    )
+    if cacheable:
+        replayed = cache.fetch_intermediate(executor, request)
+        if replayed is not None:
+            data, job_metrics = replayed
+            request.cumulative.merge(job_metrics)
+            return JobOutcome(data=data, metrics=job_metrics, shared_with=1)
     if request.virtual_cost is not None:
         # Virtual-cost requests carry a driver-computed metrics delta (pilot
         # sampling, sketch refresh); the charge is applied as given — those
@@ -135,6 +161,8 @@ def _perform(
             tracer=request.tracer,
             partitions=partitions,
         )
+        if cacheable:
+            cache.store_intermediate(executor, request)
     shared_with = 1
     if scan_share is not None and scan_share[1] > 1:
         _apply_scan_share(job_metrics, *scan_share)

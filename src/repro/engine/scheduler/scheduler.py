@@ -35,6 +35,15 @@ different queries on one shared simulated clock:
   branches, while each branch keeps its own select/sink work, intermediate,
   statistics catalog and trace. Merging happens at launch time, so a merged
   scan occupies a single slot while unrelated jobs overlap in the others.
+- **Multi-tenancy.** Every submission may carry a tenant name. With
+  ``fair_tenants`` admission becomes a per-priority deficit round-robin over
+  tenants (FIFO within a tenant), ``max_queued`` bounds the admission queue
+  (:class:`~repro.common.errors.AdmissionError` on overflow), and
+  ``adaptive_slices`` sizes each launch wave's partition slices by estimated
+  job size instead of PR 4's even split. All three default off, keeping the
+  historical schedule byte-identical. A :class:`~repro.service.QueryService`
+  additionally installs ``on_admit``/``on_finish`` hooks to answer repeated
+  queries from its result cache at admission time.
 
 Per-query results are the ordinary :class:`ExecutionResult`; the scheduler
 annotates each with a :class:`ScheduleInfo` (failed queries get one too,
@@ -51,7 +60,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.common.errors import ReproError
+from repro.common.errors import AdmissionError, ReproError
 from repro.engine.metrics import ExecutionResult
 from repro.engine.scheduler.request import JobOutcome, JobRequest, run_request
 from repro.obs.timeline import ClusterTimeline, TimelineEvent
@@ -73,12 +82,30 @@ class SchedulerConfig:
     #: 1 reproduces the historical serial schedule exactly; >1 space-shares
     #: the cluster, splitting partitions evenly across active jobs.
     job_slots: int = 1
+    #: per-tenant fair admission: within a priority level, pick the waiting
+    #: query of the tenant with the fewest admissions so far (FIFO within a
+    #: tenant) instead of global FIFO — one tenant flooding the queue cannot
+    #: starve the others. Off by default: plain FIFO is the historical
+    #: (byte-identical) order.
+    fair_tenants: bool = False
+    #: bound on the admission queue: a submission past this many waiting
+    #: queries raises :class:`~repro.common.errors.AdmissionError` instead of
+    #: queueing without limit. ``None`` (default) keeps the queue unbounded.
+    max_queued: int | None = None
+    #: size-aware slice widths: when space sharing (``job_slots > 1``), a
+    #: launch wave splits its partition budget across the wave's jobs in
+    #: proportion to their estimated output size instead of evenly, so a
+    #: small sketch-refresh job stops reserving as many partitions as a
+    #: giant join. Off by default (PR 4's even split, byte-identical).
+    adaptive_slices: bool = False
 
     def __post_init__(self) -> None:
         if self.max_concurrent_queries < 1:
             raise ReproError("scheduler needs at least one admission slot")
         if self.job_slots < 1:
             raise ReproError("scheduler needs at least one job slot")
+        if self.max_queued is not None and self.max_queued < 1:
+            raise ReproError("max_queued must be >= 1 (or None for unbounded)")
 
 
 @dataclass(frozen=True)
@@ -99,6 +126,11 @@ class ScheduleInfo:
     #: query still gets a schedule record so throughput reports and the
     #: cluster timeline account for the capacity it consumed.
     error: str | None = None
+    #: tenant name the query was submitted under ("" outside a service).
+    tenant: str = ""
+    #: True when the query was answered from the service's result cache at
+    #: admission time: zero cluster work, ``busy_seconds == 0``.
+    cache_hit: bool = False
 
     @property
     def latency_seconds(self) -> float:
@@ -123,6 +155,7 @@ class QueryHandle:
         label: str,
         submitted_at: float,
         submit_index: int,
+        tenant: str = "",
     ) -> None:
         self.query_id = query_id
         self.query = query
@@ -130,6 +163,10 @@ class QueryHandle:
         self.session = session
         self.priority = priority
         self.label = label or f"q{query_id}"
+        self.tenant = tenant
+        #: result-cache key, set by the query service at submit time; the
+        #: scheduler itself never reads it (its cache hooks do).
+        self.cache_key = None
         self.status = "queued"
         self.submitted_at = submitted_at
         self.submit_index = submit_index
@@ -197,6 +234,17 @@ class QueryHandle:
         return outcomes if self._group else outcomes[0]
 
 
+def _query_datasets(query) -> tuple[str, ...]:
+    """Sorted base dataset names a query's FROM clause references."""
+    tables = getattr(query, "tables", ())
+    return tuple(sorted({table.dataset for table in tables}))
+
+
+def _tenants_of(handles) -> tuple[str, ...]:
+    """Distinct non-empty tenant names, in participant order."""
+    return tuple(dict.fromkeys(h.tenant for h in handles if h.tenant))
+
+
 @dataclass
 class _InFlightJob:
     """One launched cluster job awaiting its completion instant."""
@@ -238,6 +286,14 @@ class JobScheduler:
         self._launch_order = 0
         self._next_id = 1
         self._submit_index = 0
+        #: lifetime admissions per tenant (fair-admission bookkeeping).
+        self._tenant_admissions: dict[str, int] = {}
+        #: service hooks, ``None`` outside a QueryService (byte-identical):
+        #: ``on_admit(handle) -> ExecutionResult | None`` may answer an
+        #: admitted query from a cache before its driver is even created;
+        #: ``on_finish(handle, result)`` observes every completed result.
+        self.on_admit = None
+        self.on_finish = None
 
     # -- submission -----------------------------------------------------------
 
@@ -248,12 +304,26 @@ class JobScheduler:
         session,
         priority: int = 0,
         label: str = "",
+        tenant: str = "",
     ) -> QueryHandle:
         """Queue one described query (strategy + priority) for execution.
 
         Nothing runs until :meth:`run_all`; higher ``priority`` is admitted
-        and serviced first, FIFO within a priority level.
+        and serviced first, FIFO within a priority level (or round-robin
+        across tenants under ``fair_tenants``). A bounded queue
+        (``max_queued``) rejects the submission with
+        :class:`~repro.common.errors.AdmissionError` when full.
         """
+        if (
+            self.config.max_queued is not None
+            and len(self._waiting) >= self.config.max_queued
+        ):
+            raise AdmissionError(
+                f"admission queue full ({len(self._waiting)} waiting, "
+                f"max_queued={self.config.max_queued}); "
+                f"rejecting {label or 'query'!r}"
+                + (f" from tenant {tenant!r}" if tenant else "")
+            )
         handle = QueryHandle(
             query_id=self._next_id,
             query=query,
@@ -263,6 +333,7 @@ class JobScheduler:
             label=label,
             submitted_at=self.now,
             submit_index=self._submit_index,
+            tenant=tenant,
         )
         self._next_id += 1
         self._submit_index += 1
@@ -292,14 +363,52 @@ class JobScheduler:
             self._complete_next(finished)
         return finished
 
+    def _pop_next_admission(self) -> QueryHandle:
+        """The next waiting query to admit.
+
+        Plain FIFO within a priority level by default (the historical order).
+        Under ``fair_tenants`` the tie-break inside a priority level is the
+        tenant with the fewest lifetime admissions — a deficit round-robin —
+        so a tenant flooding thousands of submissions cannot push another
+        tenant's single query to the back of the queue. FIFO still holds
+        *within* each tenant.
+        """
+        if not self.config.fair_tenants:
+            self._waiting.sort(key=lambda h: (-h.priority, h.submit_index))
+            return self._waiting.pop(0)
+        best_index = 0
+        best_key = None
+        for index, handle in enumerate(self._waiting):
+            key = (
+                -handle.priority,
+                self._tenant_admissions.get(handle.tenant, 0),
+                handle.submit_index,
+            )
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        return self._waiting.pop(best_index)
+
     def _admit(self, finished: list[QueryHandle]) -> None:
-        self._waiting.sort(key=lambda h: (-h.priority, h.submit_index))
         while self._waiting and len(self._running) < self.config.max_concurrent_queries:
-            handle = self._waiting.pop(0)
+            handle = self._pop_next_admission()
             handle.admitted_at = self.now
             # Time spent waiting for an admission slot is queueing delay too.
             handle.queue_delay_seconds += self.now - handle.submitted_at
             handle.status = "running"
+            self._tenant_admissions[handle.tenant] = (
+                self._tenant_admissions.get(handle.tenant, 0) + 1
+            )
+            if self.on_admit is not None:
+                cached = self.on_admit(handle)
+                if cached is not None:
+                    # Result-cache hit: the query is answered without ever
+                    # creating its driver or launching a job. It still paid
+                    # any admission wait (the delay is real); it charges
+                    # zero busy seconds.
+                    self._finish(handle, cached, cache_hit=True)
+                    finished.append(handle)
+                    continue
             handle._generator = handle.strategy.stages(
                 handle.query, handle.session, namespace=f"__q{handle.query_id}"
             )
@@ -418,13 +527,55 @@ class JobScheduler:
         if self.config.job_slots == 1:
             # Serial schedule: skip the slice view entirely so accounting is
             # the exact object (and floats) of the pre-space-sharing path.
-            slice_partitions = None
+            widths: list[int | None] = [None] * len(plans)
         else:
             active = len(self._in_flight) + len(plans)
-            slice_partitions = max(1, self.executor.cluster.partitions // active)
-        for entries in plans:
+            even = max(1, self.executor.cluster.partitions // active)
+            if self.config.adaptive_slices:
+                widths = self._adaptive_widths(plans, even)
+            else:
+                widths = [even] * len(plans)
+        for entries, slice_partitions in zip(plans, widths, strict=True):
             self._launch_job(entries, slice_partitions, finished)
         return len(plans)
+
+    def _adaptive_widths(
+        self, plans: list[list[tuple[QueryHandle, int]]], even: int
+    ) -> list[int]:
+        """Per-job slice widths proportional to estimated job size.
+
+        The wave's partition budget is what the even split would hand out
+        (``even`` partitions per job — in-flight jobs keep the slices they
+        launched with), redistributed across the wave's jobs by the lead
+        request's size estimate: the optimizer's estimated output rows when
+        it recorded one, else the compiled plan's estimate. Every job keeps
+        at least one partition, and rounding is deterministic (largest
+        fractional share first, ties by wave position).
+        """
+        weights = []
+        for entries in plans:
+            handle, index = entries[0]
+            request = handle._requests[index]
+            weight = 0.0
+            if request.estimate is not None:
+                weight = float(request.estimate[1])
+            elif request.job is not None and request.job.plan is not None:
+                weight = float(request.job.plan.estimated_rows)
+            weights.append(weight if weight > 0.0 else 1.0)
+        budget = even * len(plans)
+        total = sum(weights)
+        raw = [budget * weight / total for weight in weights]
+        widths = [max(1, int(share)) for share in raw]
+        leftover = budget - sum(widths)
+        if leftover > 0:
+            # Hand remaining partitions to the largest fractional shares.
+            order = sorted(
+                range(len(plans)),
+                key=lambda i: (-(raw[i] - int(raw[i])), i),
+            )
+            for i in range(leftover):
+                widths[order[i % len(order)]] += 1
+        return widths
 
     def _next_ready(self) -> tuple[QueryHandle, int] | None:
         for handle in self._service_order():
@@ -506,6 +657,7 @@ class JobScheduler:
                 queue_delays=delays,
                 slot=slot if self.config.job_slots > 1 else 0,
                 slice_partitions=slice_partitions,
+                tenants=_tenants_of(participants),
             )
         )
         self._launch_order += 1
@@ -543,7 +695,7 @@ class JobScheduler:
                     finished.append(handle)
         self._admit(finished)
 
-    def _finish(self, handle: QueryHandle, result) -> None:
+    def _finish(self, handle: QueryHandle, result, cache_hit: bool = False) -> None:
         handle.finished_at = self.now
         handle.status = "done"
         handle._result = result
@@ -560,15 +712,37 @@ class JobScheduler:
                 finished_at=handle.finished_at,
                 queue_delay_seconds=handle.queue_delay_seconds,
                 busy_seconds=result.metrics.total_seconds,
+                tenant=handle.tenant,
+                cache_hit=cache_hit,
             )
             result.schedule = info
             handle.schedule = info
-            # Feed the finished run into the owning session's cross-query
-            # feedback history (misestimates + spills). Pure observation:
-            # it never mutates the result and charges nothing.
-            feedback = getattr(handle.session, "feedback", None)
-            if feedback is not None:
-                feedback.observe_result(result)
+            if cache_hit:
+                # A cached answer ran no cluster job: it must not feed the
+                # feedback history (no trace, zero cost — it would dilute
+                # the spill ratio) and there is nothing new to cache. A
+                # zero-length timeline event keeps it visible per tenant.
+                self.timeline.record(
+                    TimelineEvent(
+                        label=f"{handle.label} cache-hit",
+                        kind="cache-hit",
+                        start_seconds=self.now,
+                        end_seconds=self.now,
+                        queries=(handle.query_id,),
+                        tenants=_tenants_of((handle,)),
+                    )
+                )
+            else:
+                # Feed the finished run into the owning session's cross-query
+                # feedback history (misestimates + spills). Pure observation:
+                # it never mutates the result and charges nothing.
+                feedback = getattr(handle.session, "feedback", None)
+                if feedback is not None:
+                    feedback.observe_result(
+                        result, datasets=_query_datasets(handle.query)
+                    )
+                if self.on_finish is not None:
+                    self.on_finish(handle, result)
         self._release_namespace(handle)
 
     def _fail(self, handle: QueryHandle, error: BaseException) -> None:
@@ -597,6 +771,7 @@ class JobScheduler:
             queue_delay_seconds=handle.queue_delay_seconds,
             busy_seconds=handle.charged_seconds,
             error=f"{type(error).__name__}: {error}",
+            tenant=handle.tenant,
         )
         self.timeline.record(
             TimelineEvent(
@@ -605,6 +780,7 @@ class JobScheduler:
                 start_seconds=self.now,
                 end_seconds=self.now,
                 queries=(handle.query_id,),
+                tenants=_tenants_of((handle,)),
             )
         )
         # A checkpoint-carrying failure (SimulatedFailure) keeps its

@@ -38,6 +38,10 @@ class TimelineEvent:
     #: width of the partition slice the job was costed against; ``None``
     #: for serial schedules (full cluster, pre-space-sharing accounting).
     slice_partitions: int | None = None
+    #: distinct tenant names the participating queries were submitted under
+    #: (query-service schedules only; empty outside a service, which keeps
+    #: the single-tenant render and exports byte-identical).
+    tenants: tuple[str, ...] = ()
 
     @property
     def duration_seconds(self) -> float:
@@ -75,11 +79,26 @@ class ClusterTimeline:
         """True when any event ran on an explicit partition slice."""
         return any(e.slice_partitions is not None for e in self.events)
 
+    @property
+    def multi_tenant(self) -> bool:
+        """True when any event carries tenant names (query-service schedules)."""
+        return any(e.tenants for e in self.events)
+
+    def tenant_names(self) -> list[str]:
+        """Every tenant that appears on the timeline, sorted."""
+        names: set[str] = set()
+        for event in self.events:
+            names.update(event.tenants)
+        return sorted(names)
+
     def queue_delay_of(self, query_id: int) -> float:
         return sum(e.queue_delays.get(query_id, 0.0) for e in self.events)
 
     def events_for(self, query_id: int) -> list[TimelineEvent]:
         return [e for e in self.events if query_id in e.queries]
+
+    def events_for_tenant(self, tenant: str) -> list[TimelineEvent]:
+        return [e for e in self.events if tenant in e.tenants]
 
     def overlapping_pairs(self) -> int:
         """Count of event pairs whose intervals overlap (concurrency proof)."""
@@ -104,11 +123,25 @@ class ClusterTimeline:
         explicit ``wait`` events preceding the job they delayed. When the
         schedule was space-shared, a second process groups the same jobs by
         slice lane (``pid`` 2, one ``tid`` per slot) so the overlap across
-        partition slices is visible directly.
+        partition slices is visible directly. Query-service schedules add a
+        third process with one named lane per tenant (``pid`` 3), so each
+        tenant's share of the cluster reads off directly.
         """
         import json
 
         trace_events = []
+        tenant_tids: dict[str, int] = {}
+        for name in self.tenant_names():
+            tenant_tids[name] = len(tenant_tids) + 1
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 3,
+                    "tid": tenant_tids[name],
+                    "args": {"name": f"tenant {name}"},
+                }
+            )
         for event in self.events:
             for query_id in event.queries:
                 delay = event.queue_delays.get(query_id, 0.0)
@@ -161,43 +194,61 @@ class ClusterTimeline:
                         },
                     }
                 )
+            for tenant in event.tenants:
+                trace_events.append(
+                    {
+                        "name": event.label,
+                        "cat": event.kind,
+                        "ph": "X",
+                        "ts": event.start_seconds * 1e6,
+                        "dur": event.duration_seconds * 1e6,
+                        "pid": 3,
+                        "tid": tenant_tids[tenant],
+                        "args": {
+                            "tenant": tenant,
+                            "queries": list(event.queries),
+                        },
+                    }
+                )
         return json.dumps({"traceEvents": trace_events, "displayTimeUnit": "ms"})
 
     def render(self) -> str:
         """ASCII table of the shared timeline (one row per cluster job).
 
         Serial schedules keep the historical four-column layout; when space
-        sharing was active two extra columns show the slice lane and width.
+        sharing was active two extra columns show the slice lane and width,
+        and multi-tenant (query-service) schedules add a tenant column so
+        each tenant's lane reads off the shared clock directly.
         """
         lanes = self.space_shared
+        tenants = self.multi_tenant
+        tenant_width = max(
+            (len("+".join(e.tenants)) for e in self.events if e.tenants),
+            default=6,
+        )
+        tenant_width = max(tenant_width, len("tenant"))
+        header = f"{'start':>10s} {'end':>10s}"
         if lanes:
-            lines = [
-                f"{'start':>10s} {'end':>10s} {'slot':>4s} {'width':>5s}"
-                f" {'queries':12s} {'kind':13s} label"
-            ]
-        else:
-            lines = [
-                f"{'start':>10s} {'end':>10s} {'queries':12s} {'kind':13s} label"
-            ]
+            header += f" {'slot':>4s} {'width':>5s}"
+        if tenants:
+            header += f" {'tenant':{tenant_width}s}"
+        header += f" {'queries':12s} {'kind':13s} label"
+        lines = [header]
         for event in self.events:
             queries = "+".join(f"q{qid}" for qid in event.queries)
             marker = "*" if event.batched else " "
+            row = f"{event.start_seconds:10.2f} {event.end_seconds:10.2f}"
             if lanes:
                 width = (
                     f"{event.slice_partitions:5d}"
                     if event.slice_partitions is not None
                     else f"{'-':>5s}"
                 )
-                lines.append(
-                    f"{event.start_seconds:10.2f} {event.end_seconds:10.2f}"
-                    f" {event.slot:4d} {width}"
-                    f" {queries:12s} {event.kind:13s}{marker}{event.label}"
-                )
-            else:
-                lines.append(
-                    f"{event.start_seconds:10.2f} {event.end_seconds:10.2f}"
-                    f" {queries:12s} {event.kind:13s}{marker}{event.label}"
-                )
+                row += f" {event.slot:4d} {width}"
+            if tenants:
+                row += f" {'+'.join(event.tenants) or '-':{tenant_width}s}"
+            row += f" {queries:12s} {event.kind:13s}{marker}{event.label}"
+            lines.append(row)
         if any(event.batched for event in self.events):
             lines.append("(* = merged scan serving several queries)")
         return "\n".join(lines)

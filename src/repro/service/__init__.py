@@ -1,0 +1,30 @@
+"""Multi-tenant query service layer (DESIGN.md §11).
+
+Public surface:
+
+- :class:`QueryService` / :class:`ServiceConfig` — the shared scheduler +
+  catalogs + caches serving many tenant sessions.
+- :class:`ServiceCache` / :class:`CacheStats` — result + intermediate
+  caching with invalidation on dataset ingest.
+- :class:`ServiceStore` / :class:`StoredFeedback` — persistent per-dataset
+  feedback and ingestion-sketch store with JSON round-tripping.
+"""
+
+from repro.service.cache import CacheStats, ServiceCache
+from repro.service.service import (
+    QueryService,
+    ServiceConfig,
+    default_service_scheduler_config,
+)
+from repro.service.store import ServiceStore, StoredFeedback, ingest_token
+
+__all__ = [
+    "CacheStats",
+    "QueryService",
+    "ServiceCache",
+    "ServiceConfig",
+    "ServiceStore",
+    "StoredFeedback",
+    "default_service_scheduler_config",
+    "ingest_token",
+]

@@ -1,0 +1,249 @@
+"""Result and intermediate caches with ingest-driven invalidation.
+
+Two caches, both LRU-bounded and both validated against
+:class:`~repro.storage.catalog.DatasetCatalog` versions:
+
+- The **result cache** answers a repeated query (same text, same bound
+  parameters, same planner spec) at admission time without creating its
+  driver: the scheduler's ``on_admit`` hook returns a manufactured
+  :class:`~repro.engine.metrics.ExecutionResult` carrying the cached rows
+  and *zero* metrics — a hit consumes no simulated cluster time.
+- The **intermediate cache** replays materialized pushdown filters across
+  queries: a :class:`~repro.engine.scheduler.request.JobRequest` whose
+  ``cache_token`` matches a previously stored materialization re-registers
+  the stored partitions and statistics under the requesting query's own
+  namespace at zero cost, skipping the scan entirely.
+
+Invalidation is two-layered: every entry records the ``(dataset, version)``
+pairs it was computed from and is revalidated on fetch, and the owning
+service subscribes the cache to the dataset catalog so a re-ingest evicts
+dependents eagerly. Rows handed out on a hit are the stored row dicts in
+fresh list containers — row dicts are immutable by library convention, and
+fresh containers keep one consumer's reordering from leaking into the next.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.engine.metrics import ExecutionResult, JobMetrics
+from repro.stats.catalog import DatasetStatistics
+from repro.storage.ingest import register_intermediate
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation counters for one service cache."""
+
+    result_hits: int = 0
+    result_misses: int = 0
+    intermediate_hits: int = 0
+    intermediate_misses: int = 0
+    #: entries evicted because a dependency dataset was re-ingested (both
+    #: eager subscription evictions and stale-on-fetch drops).
+    invalidations: int = 0
+
+    @property
+    def result_hit_rate(self) -> float:
+        lookups = self.result_hits + self.result_misses
+        return self.result_hits / lookups if lookups else 0.0
+
+    @property
+    def intermediate_hit_rate(self) -> float:
+        lookups = self.intermediate_hits + self.intermediate_misses
+        return self.intermediate_hits / lookups if lookups else 0.0
+
+
+@dataclass
+class _CachedResult:
+    """One stored query answer + the catalog versions it depends on."""
+
+    rows: list[dict]
+    plan_description: str
+    deps: tuple[tuple[str, int], ...]
+
+    def materialize(self) -> ExecutionResult:
+        """A fresh result object per hit (the scheduler sets ``schedule``
+        on it, so sharing one object across hits would clobber records)."""
+        return ExecutionResult(
+            rows=list(self.rows),
+            metrics=JobMetrics(),
+            plan_description=self.plan_description,
+            phases=["cache-hit"],
+        )
+
+
+@dataclass
+class _CachedIntermediate:
+    """One stored pushdown materialization, namespace-free."""
+
+    schema: object
+    partitions: list[list[dict]]
+    partition_key: str | None
+    scale: float
+    stats: DatasetStatistics
+    modeled_rows: float
+    deps: tuple[tuple[str, int], ...]
+
+
+class _ReplayedData:
+    """Stand-in for a replayed job's output data.
+
+    The request runner only reads ``modeled_rows`` (estimate-accuracy
+    recording); pushdown drivers consume the registered catalog entries,
+    never the outcome payload, so a hit need not rebuild the operator data.
+    """
+
+    __slots__ = ("modeled_rows",)
+
+    def __init__(self, modeled_rows: float) -> None:
+        self.modeled_rows = modeled_rows
+
+
+class ServiceCache:
+    """LRU result + intermediate caches bound to one dataset catalog."""
+
+    def __init__(
+        self,
+        datasets,
+        result_entries: int = 128,
+        intermediate_entries: int = 64,
+    ) -> None:
+        if result_entries < 1 or intermediate_entries < 1:
+            raise ValueError("cache capacities must be >= 1")
+        self.datasets = datasets
+        self.result_entries = result_entries
+        self.intermediate_entries = intermediate_entries
+        self.stats = CacheStats()
+        self._results: OrderedDict[object, _CachedResult] = OrderedDict()
+        self._intermediates: OrderedDict[str, _CachedIntermediate] = OrderedDict()
+
+    # -- dependency versioning ------------------------------------------------
+
+    def _deps_for(self, names: tuple[str, ...]) -> tuple[tuple[str, int], ...]:
+        return tuple((name, self.datasets.version(name)) for name in sorted(names))
+
+    def _fresh(self, deps: tuple[tuple[str, int], ...]) -> bool:
+        return all(self.datasets.version(name) == version for name, version in deps)
+
+    def invalidate_dataset(self, name: str) -> None:
+        """Evict every entry computed from ``name`` (catalog listener)."""
+        doomed = [k for k, e in self._results.items() if self._depends(e, name)]
+        for key in doomed:
+            del self._results[key]
+        doomed_tokens = [
+            t for t, e in self._intermediates.items() if self._depends(e, name)
+        ]
+        for token in doomed_tokens:
+            del self._intermediates[token]
+        self.stats.invalidations += len(doomed) + len(doomed_tokens)
+
+    @staticmethod
+    def _depends(entry, name: str) -> bool:
+        return any(dep_name == name for dep_name, _ in entry.deps)
+
+    # -- result cache ---------------------------------------------------------
+
+    def lookup_result(self, key) -> ExecutionResult | None:
+        """The cached answer for ``key``, revalidated against the catalog."""
+        entry = self._results.get(key)
+        if entry is None:
+            self.stats.result_misses += 1
+            return None
+        if not self._fresh(entry.deps):
+            del self._results[key]
+            self.stats.invalidations += 1
+            self.stats.result_misses += 1
+            return None
+        self._results.move_to_end(key)
+        self.stats.result_hits += 1
+        return entry.materialize()
+
+    def store_result(
+        self, key, result: ExecutionResult, datasets: tuple[str, ...]
+    ) -> None:
+        self._results[key] = _CachedResult(
+            rows=list(result.rows),
+            plan_description=result.plan_description,
+            deps=self._deps_for(datasets),
+        )
+        self._results.move_to_end(key)
+        while len(self._results) > self.result_entries:
+            self._results.popitem(last=False)
+
+    # -- intermediate (pushdown) cache ----------------------------------------
+
+    def fetch_intermediate(self, executor, request):
+        """Replay a stored materialization for ``request``, if fresh.
+
+        On a hit the stored partitions are re-registered as an intermediate
+        dataset under the request's own sink name, its statistics land in the
+        request's working catalog, and the returned ``(data, metrics)`` pair
+        charges nothing. Returns ``None`` on miss/stale.
+        """
+        token = request.cache_token
+        entry = self._intermediates.get(token)
+        if entry is None:
+            self.stats.intermediate_misses += 1
+            return None
+        if not self._fresh(entry.deps):
+            del self._intermediates[token]
+            self.stats.invalidations += 1
+            self.stats.intermediate_misses += 1
+            return None
+        name = request.job.root.name
+        register_intermediate(
+            name=name,
+            schema=entry.schema,
+            partitions=[list(partition) for partition in entry.partitions],
+            partition_key=entry.partition_key,
+            datasets=executor.datasets,
+            scale=entry.scale,
+        )
+        if request.statistics is not None:
+            stats = entry.stats
+            request.statistics.register(
+                DatasetStatistics(
+                    name=name,
+                    row_count=stats.row_count,
+                    row_width=stats.row_width,
+                    fields=dict(stats.fields),
+                    predicates_applied=stats.predicates_applied,
+                    scale=stats.scale,
+                )
+            )
+        self._intermediates.move_to_end(token)
+        self.stats.intermediate_hits += 1
+        return _ReplayedData(entry.modeled_rows), JobMetrics()
+
+    def store_intermediate(self, executor, request) -> None:
+        """Capture the materialization the request's sink just registered."""
+        name = request.job.root.name
+        dataset = executor.datasets.get(name)
+        stats = None
+        if request.statistics is not None and request.statistics.has(name):
+            stats = request.statistics.get(name)
+        if stats is None:
+            return  # nothing to replay without statistics: skip caching
+        base = request.batch_key
+        deps = self._deps_for((base,)) if base is not None else ()
+        self._intermediates[request.cache_token] = _CachedIntermediate(
+            schema=dataset.schema,
+            partitions=dataset.partitions,
+            partition_key=dataset.partition_key,
+            scale=dataset.scale,
+            stats=DatasetStatistics(
+                name=stats.name,
+                row_count=stats.row_count,
+                row_width=stats.row_width,
+                fields=dict(stats.fields),
+                predicates_applied=stats.predicates_applied,
+                scale=stats.scale,
+            ),
+            modeled_rows=dataset.modeled_rows,
+            deps=deps,
+        )
+        self._intermediates.move_to_end(request.cache_token)
+        while len(self._intermediates) > self.intermediate_entries:
+            self._intermediates.popitem(last=False)

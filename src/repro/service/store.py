@@ -1,0 +1,196 @@
+"""Persistent per-dataset feedback and sketch store.
+
+A :class:`~repro.session.Session`'s :class:`~repro.core.policy.FeedbackLog`
+dies with the process, and its ingestion-time GK/HLL sketches are recollected
+on every restart. The query service keys both by *dataset* instead:
+
+- :class:`StoredFeedback` is a drop-in ``FeedbackLog`` that additionally
+  routes every observation into a per-dataset-group sub-log (the sorted
+  FROM-clause datasets of the observed query). Adaptive policies resolving
+  thresholds for a query whose dataset group has enough history derive from
+  that group's window — TPC-H misestimates stop inflating the trigger
+  threshold of TPC-DS queries — and fall back to the combined window below
+  ``min_history``.
+- :class:`ServiceStore` bundles the feedback log with persisted ingestion
+  sketches keyed by dataset name + a *content token*, plus JSON
+  ``save``/``load`` round-tripping. Restoring sketches is only sound when
+  the dataset's rows are byte-identical to the collection pass — which is
+  exactly what the content token proves — so a restored service derives the
+  same :class:`~repro.core.policy.RuntimeThresholds` and the same
+  cardinality estimates as the process that saved it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.common.errors import StatisticsError
+from repro.common.rng import stable_hash
+from repro.common.types import Schema
+from repro.core.policy import FeedbackLog, ReplanPolicy, RuntimeThresholds
+from repro.stats.catalog import DatasetStatistics
+
+#: bump when the on-disk layout changes; mismatched files are rejected.
+STORE_FORMAT_VERSION = 1
+
+
+def dataset_group_key(datasets: tuple[str, ...]) -> str:
+    """Stable key for one dataset group (sorted names joined by ``+``)."""
+    return "+".join(sorted(datasets))
+
+
+def query_group_key(query) -> str:
+    """The dataset-group key of a query's FROM clause."""
+    tables = getattr(query, "tables", ())
+    return dataset_group_key(tuple({table.dataset for table in tables}))
+
+
+def ingest_token(schema: Schema, rows: list[dict], scale: float) -> str:
+    """Content token of one ingestion: schema layout + every row + scale.
+
+    Two ingestions with equal tokens produce byte-identical datasets and
+    therefore byte-identical ingestion sketches, so the store may hand back
+    persisted sketches instead of recollecting. The fold visits rows in
+    ingestion order — order changes partition layouts, so it must (and does)
+    change the token.
+    """
+    acc = stable_hash(
+        (
+            tuple(schema.field_names),
+            schema.row_width,
+            tuple(schema.primary_key),
+            repr(scale),
+        )
+    )
+    for row in rows:
+        acc = stable_hash((acc, tuple(sorted((k, repr(v)) for k, v in row.items()))))
+    return f"{acc:016x}"
+
+
+class StoredFeedback(FeedbackLog):
+    """Feedback history keyed by dataset group, drop-in for ``FeedbackLog``.
+
+    The combined (superclass) window still sees every observation, so code
+    that reads ``session.feedback`` aggregates keeps working; per-group
+    sub-logs narrow adaptive derivation to the datasets the query touches.
+    """
+
+    def __init__(self, window: int = 64) -> None:
+        super().__init__(window)
+        #: dataset-group key -> that group's own history window.
+        self.groups: dict[str, FeedbackLog] = {}
+
+    def observe_result(self, result, datasets: tuple[str, ...] = ()) -> None:
+        super().observe_result(result, datasets=datasets)
+        if not datasets:
+            return
+        key = dataset_group_key(datasets)
+        group = self.groups.get(key)
+        if group is None:
+            group = self.groups[key] = FeedbackLog(self.window)
+        group.observe_result(result, datasets=datasets)
+
+    def derive(
+        self, policy: ReplanPolicy, cluster=None, query=None
+    ) -> RuntimeThresholds:
+        """Thresholds from the query's dataset group when it has history.
+
+        Falls back to the combined window when the query is unknown or its
+        group has fewer than ``policy.min_history`` finite records — a cold
+        group behaves exactly like a plain session-wide log.
+        """
+        if query is not None:
+            group = self.groups.get(query_group_key(query))
+            if group is not None and group.records >= policy.min_history:
+                return group.derive(policy, cluster)
+        return super().derive(policy, cluster)
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_state(self) -> dict:
+        state = super().to_state()
+        state["groups"] = {
+            key: log.to_state() for key, log in sorted(self.groups.items())
+        }
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self.groups = {
+            key: FeedbackLog.from_state(group_state)
+            for key, group_state in state.get("groups", {}).items()
+        }
+
+
+class ServiceStore:
+    """Feedback + ingestion-sketch persistence for one query service."""
+
+    def __init__(self, window: int = 64) -> None:
+        self.feedback = StoredFeedback(window)
+        #: dataset name -> {"token": content token, "stats": to_state() dict}.
+        self._sketches: dict[str, dict] = {}
+
+    # -- sketches -------------------------------------------------------------
+
+    def sketches_for(self, name: str, token: str) -> DatasetStatistics | None:
+        """Persisted ingestion statistics for ``name``, iff content matches.
+
+        Each call materializes a fresh :class:`DatasetStatistics` (sketches
+        included) from the stored state, so callers may mutate their copy —
+        e.g. re-registering under a different name — without corrupting the
+        store.
+        """
+        entry = self._sketches.get(name)
+        if entry is None or entry["token"] != token:
+            return None
+        return DatasetStatistics.from_state(entry["stats"])
+
+    def remember_sketches(
+        self, name: str, token: str, stats: DatasetStatistics
+    ) -> None:
+        """Persist one ingestion's statistics under its content token."""
+        self._sketches[name] = {"token": token, "stats": stats.to_state()}
+
+    def sketched_datasets(self) -> list[str]:
+        return sorted(self._sketches)
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_state(self) -> dict:
+        return {
+            "version": STORE_FORMAT_VERSION,
+            "feedback": self.feedback.to_state(),
+            "sketches": {
+                name: self._sketches[name] for name in sorted(self._sketches)
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        version = state.get("version")
+        if version != STORE_FORMAT_VERSION:
+            raise StatisticsError(
+                f"unsupported service-store format {version!r} "
+                f"(this build reads version {STORE_FORMAT_VERSION})"
+            )
+        self.feedback.restore_state(state["feedback"])
+        self._sketches = dict(state["sketches"])
+
+    def save(self, path: str) -> None:
+        """Write the store as JSON (atomically: temp file + rename)."""
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self.to_state(), handle, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+
+    def load(self, path: str) -> None:
+        with open(path, encoding="utf-8") as handle:
+            self.restore_state(json.load(handle))
+
+    @classmethod
+    def open(cls, path: str, window: int = 64) -> ServiceStore:
+        """A store loaded from ``path`` when it exists, else a fresh one."""
+        store = cls(window)
+        if os.path.exists(path):
+            store.load(path)
+        return store

@@ -18,6 +18,13 @@ execution cannot drift apart.
 Intermediates created by re-optimization points are registered into the
 session catalogs; call :meth:`Session.reset_intermediates` between
 experiment runs (the benchmark harness does this automatically).
+
+A session may also be opened as a *tenant handle* against a long-lived
+:class:`~repro.service.QueryService` (``Session(service=svc,
+tenant="alice")``, or equivalently ``svc.session("alice")``): it then shares
+the service's cluster, catalogs, executor, scheduler and persistent feedback
+store, and every submission carries the tenant name for fair admission and
+per-tenant observability. The API is identical either way.
 """
 
 from __future__ import annotations
@@ -53,7 +60,43 @@ class Session:
         verify_plans: bool = True,
         engine: str | None = None,
         chunk_size: int | None = None,
+        service=None,
+        tenant: str = "",
     ) -> None:
+        if service is not None:
+            # Tenant handle: borrow the service's whole execution stack. The
+            # other constructor arguments describe a private stack and are
+            # meaningless here — reject them so a misconfigured tenant fails
+            # loudly instead of silently ignoring its cluster/config.
+            if any(
+                argument is not None
+                for argument in (
+                    cluster,
+                    udfs,
+                    cost_parameters,
+                    scheduler_config,
+                    job_slots,
+                    engine,
+                    chunk_size,
+                )
+            ):
+                raise OptimizationError(
+                    "Session(service=...) shares the service's stack; "
+                    "configure cluster/scheduler/engine on the QueryService"
+                )
+            self.service = service
+            self.tenant = tenant
+            self.cluster = service.cluster
+            self.datasets = service.datasets
+            self.statistics = service.statistics
+            self.udfs = service.udfs
+            self.executor = service.executor
+            self.scheduler_config = service.scheduler_config
+            self.scheduler = service.scheduler
+            self.feedback = service.feedback
+            return
+        self.service = None
+        self.tenant = tenant
         self.cluster = cluster or default_cluster()
         if job_slots is not None:
             from dataclasses import replace
@@ -84,14 +127,24 @@ class Session:
     # -- data management ----------------------------------------------------
 
     def load(
-        self, name: str, schema: Schema, rows: list[dict], scale: float = 1.0
+        self,
+        name: str,
+        schema: Schema,
+        rows: list[dict],
+        scale: float = 1.0,
+        replace: bool = False,
     ) -> Dataset:
         """Ingest a base dataset, collecting ingestion-time statistics.
 
         ``scale`` declares how many modeled full-scale rows each stored row
         represents (DESIGN.md §2); the cost clock and broadcast decisions use
-        the modeled volumes.
+        the modeled volumes. ``replace=True`` re-ingests an existing name,
+        bumping its catalog version (service caches invalidate on it). A
+        tenant session routes through the service so persisted ingestion
+        sketches are reused when the content matches.
         """
+        if self.service is not None:
+            return self.service.load(name, schema, rows, scale=scale, replace=replace)
         return load_dataset(
             name,
             schema,
@@ -100,6 +153,7 @@ class Session:
             self.datasets,
             self.statistics,
             scale=scale,
+            replace=replace,
         )
 
     def create_index(self, dataset: str, field_name: str) -> None:
@@ -127,9 +181,11 @@ class Session:
         (``dynamic``, ``cost_based``, ``from_order`` — stock AsterixDB: joins
         follow the FROM clause — ``best_order``, ``worst_order``,
         ``pilot_run``, ``ingres``) plus validated options, e.g.
-        ``PlannerSpec.of("dynamic", policy=ReplanPolicy.default())``. The
-        legacy ``optimizer="name"`` + loose keyword form still works through
-        a deprecation shim and produces identical results.
+        ``PlannerSpec.of("dynamic", policy=ReplanPolicy.default())``; a bare
+        strategy name is also accepted. The legacy ``optimizer="name"`` +
+        loose keyword form was removed and raises
+        :class:`~repro.common.errors.OptimizationError` with the equivalent
+        spec spelled out.
 
         Runs as a single-query schedule on a private scheduler, so this is
         the same code path as concurrent submission — just with nobody to
@@ -168,20 +224,32 @@ class Session:
         Nothing executes until :meth:`run_all`; the returned handle exposes
         status, the queueing delay charged under saturation, and (once run)
         the :class:`~repro.engine.metrics.ExecutionResult`. An invalid
-        :class:`~repro.spec.PlannerSpec` (or legacy optimizer name/option)
-        raises immediately, not at run time.
+        :class:`~repro.spec.PlannerSpec` (or removed legacy keyword) raises
+        immediately, not at run time. On a tenant session the submission
+        carries the tenant name and, when the service caches results, its
+        cache key.
         """
         spec = resolve_planner(planner, optimizer, options, entry="submit")
-        return self.scheduler.submit(
-            query, spec.make(), self, priority=priority, label=label
+        handle = self.scheduler.submit(
+            query, spec.make(), self, priority=priority, label=label,
+            tenant=self.tenant,
         )
+        if self.service is not None:
+            handle.cache_key = self.service.cache_key_for(query, spec)
+        return handle
 
     def run_all(self) -> list[QueryHandle]:
         """Run every submitted query to completion on the shared clock."""
         return self.scheduler.run_all()
 
     def reset_scheduler(self) -> JobScheduler:
-        """Fresh scheduler (clock at zero); the old timeline is discarded."""
+        """Fresh scheduler (clock at zero); the old timeline is discarded.
+
+        On a tenant session this resets the *service's* shared scheduler —
+        every tenant handle is repointed at the fresh one.
+        """
+        if self.service is not None:
+            return self.service.reset_scheduler()
         self.scheduler = JobScheduler(self.executor, self.scheduler_config)
         return self.scheduler
 

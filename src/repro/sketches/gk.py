@@ -202,3 +202,30 @@ class GKQuantileSketch:
         """Number of retained summary entries (space bound check)."""
         self._flush()
         return len(self._entries)
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serializable snapshot of the sketch.
+
+        The buffer is flushed first, so the state is exactly the compressed
+        summary — a sketch restored with :meth:`from_state` answers every
+        rank/quantile query identically to the original (both operate on the
+        same flushed entries).
+        """
+        self._flush()
+        return {
+            "epsilon": self.epsilon,
+            "count": self._count,
+            "entries": [[e.value, e.g, e.delta] for e in self._entries],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> GKQuantileSketch:
+        """Rebuild a sketch from :meth:`to_state` output."""
+        sketch = cls(state["epsilon"])
+        sketch._count = int(state["count"])
+        sketch._entries = [
+            _Entry(value, int(g), int(delta)) for value, g, delta in state["entries"]
+        ]
+        return sketch

@@ -109,3 +109,31 @@ class HyperLogLog:
 
     def __len__(self) -> int:
         return self._count
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serializable snapshot (registers hex-packed for compactness)."""
+        return {
+            "precision": self.precision,
+            "count": self._count,
+            "registers": bytes(self._registers).hex(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> HyperLogLog:
+        """Rebuild a sketch from :meth:`to_state` output.
+
+        The restored sketch's :meth:`cardinality` is identical to the
+        original's — the estimate is a pure function of the registers.
+        """
+        sketch = cls(int(state["precision"]))
+        registers = bytearray.fromhex(state["registers"])
+        if len(registers) != sketch._m:
+            raise StatisticsError(
+                f"corrupt HLL state: {len(registers)} registers for "
+                f"precision {sketch.precision}"
+            )
+        sketch._registers = registers
+        sketch._count = int(state["count"])
+        return sketch

@@ -8,9 +8,11 @@ an unknown strategy or an option the strategy's constructor does not accept
 raises :class:`~repro.common.errors.OptimizationError` at spec-build time,
 not when the query runs. All four :class:`~repro.session.Session` entry
 points (``execute``/``submit``/``explain``/``explain_analyze``) resolve their
-arguments through :func:`resolve_planner`, so they validate identically; the
-old string+kwargs form keeps working through a deprecation shim that warns
-once per process.
+arguments through :func:`resolve_planner`, so they validate identically. A
+bare strategy-name string is still accepted positionally; the old
+``optimizer=``/loose-keyword form (deprecated since the spec landed) was
+removed and now fails fast with the equivalent spec spelled out in the
+error.
 
     from repro import PlannerSpec, ReplanPolicy, Session
 
@@ -21,19 +23,10 @@ once per process.
 from __future__ import annotations
 
 import inspect
-import warnings
 from dataclasses import dataclass
 
 from repro.common.errors import OptimizationError
 from repro.core.policy import ReplanPolicy
-
-#: entry points that have already emitted their deprecation warning.
-_WARNED: set[str] = set()
-
-
-def _reset_deprecation_warnings() -> None:
-    """Forget which entry points warned (test hook)."""
-    _WARNED.clear()
 
 
 @dataclass(frozen=True)
@@ -110,11 +103,11 @@ def resolve_planner(
 ) -> PlannerSpec:
     """Normalize any Session entry-point arguments into a :class:`PlannerSpec`.
 
-    ``planner`` may be a spec (the new API), a strategy name string (old
-    positional form), or ``None``. The legacy ``optimizer=`` keyword and
-    loose ``**options`` map onto a spec through a deprecation shim that
-    warns once per process per entry point. Mixing a spec with legacy
-    keywords is an error — options belong inside the spec.
+    ``planner`` may be a spec (the usual API), a strategy name string
+    (positional shorthand for an option-less spec), or ``None`` (the default
+    spec). The removed legacy ``optimizer=`` keyword and loose ``**options``
+    fail fast with :class:`~repro.common.errors.OptimizationError` spelling
+    out the equivalent :meth:`PlannerSpec.of` call.
     """
     options = dict(options or {})
     if isinstance(planner, PlannerSpec):
@@ -124,30 +117,22 @@ def resolve_planner(
                 "not alongside it"
             )
         return planner
-    name: str | None = None
-    if planner is not None:
-        if not isinstance(planner, str):
-            raise OptimizationError(
-                f"Session.{entry}: planner must be a PlannerSpec or a "
-                f"strategy name (got {type(planner).__name__})"
-            )
-        name = planner
-    if optimizer is not None:
-        if name is not None and name != optimizer:
-            raise OptimizationError(
-                f"Session.{entry}: conflicting strategies {name!r} and "
-                f"optimizer={optimizer!r}"
-            )
-        name = optimizer
-    if name is None and not options:
-        return PlannerSpec()
-    if entry not in _WARNED:
-        _WARNED.add(entry)
-        warnings.warn(
-            f"Session.{entry}(query, optimizer=..., **options) is deprecated; "
-            "pass a repro.PlannerSpec instead "
-            f"(e.g. PlannerSpec.of({name or 'dynamic'!r}, ...))",
-            DeprecationWarning,
-            stacklevel=3,
+    if optimizer is not None or options:
+        name = optimizer if optimizer is not None else planner
+        rendered = ", ".join(
+            [repr(name if isinstance(name, str) else "dynamic")]
+            + [f"{key}=..." for key in sorted(options)]
         )
-    return PlannerSpec.of(name or "dynamic", **options)
+        raise OptimizationError(
+            f"Session.{entry}: the legacy optimizer=/keyword-option form was "
+            f"removed; pass a PlannerSpec instead, e.g. "
+            f"PlannerSpec.of({rendered})"
+        )
+    if planner is None:
+        return PlannerSpec()
+    if not isinstance(planner, str):
+        raise OptimizationError(
+            f"Session.{entry}: planner must be a PlannerSpec or a "
+            f"strategy name (got {type(planner).__name__})"
+        )
+    return PlannerSpec.of(planner)

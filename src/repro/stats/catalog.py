@@ -47,6 +47,35 @@ class DatasetStatistics:
     def field_statistics(self, field_name: str) -> FieldStatistics | None:
         return self.fields.get(field_name)
 
+    # -- persistence ----------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serializable snapshot (used by the service's sketch store)."""
+        return {
+            "name": self.name,
+            "row_count": self.row_count,
+            "row_width": self.row_width,
+            "predicates_applied": self.predicates_applied,
+            "scale": self.scale,
+            "fields": {
+                name: stats.to_state() for name, stats in sorted(self.fields.items())
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> DatasetStatistics:
+        return cls(
+            name=state["name"],
+            row_count=state["row_count"],
+            row_width=int(state["row_width"]),
+            fields={
+                name: FieldStatistics.from_state(field_state)
+                for name, field_state in state["fields"].items()
+            },
+            predicates_applied=bool(state["predicates_applied"]),
+            scale=state["scale"],
+        )
+
 
 class StatisticsCatalog:
     """Mutable registry of :class:`DatasetStatistics` keyed by dataset name."""

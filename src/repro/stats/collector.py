@@ -53,6 +53,25 @@ class FieldStatistics:
         merged.null_count = self.null_count + other.null_count
         return merged
 
+    # -- persistence ----------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serializable snapshot of both sketches plus the null count."""
+        return {
+            "field_name": self.field_name,
+            "null_count": self.null_count,
+            "quantiles": self.quantiles.to_state(),
+            "distinct": self.distinct.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> FieldStatistics:
+        restored = cls(state["field_name"])
+        restored.null_count = int(state["null_count"])
+        restored.quantiles = GKQuantileSketch.from_state(state["quantiles"])
+        restored.distinct = HyperLogLog.from_state(state["distinct"])
+        return restored
+
 
 def _as_numeric(value: object) -> float | None:
     if isinstance(value, bool):

@@ -13,19 +13,47 @@ from repro.storage.dataset import Dataset
 
 
 class DatasetCatalog:
-    """Name -> :class:`Dataset` registry with schema lookup for binding."""
+    """Name -> :class:`Dataset` registry with schema lookup for binding.
+
+    Every *base* dataset carries a monotonically increasing version, bumped
+    on (re-)ingestion. Versions give caches a cheap staleness check — a
+    cached result tagged with the ``(name, version)`` pairs it depended on
+    is valid iff every pair still matches — and :meth:`subscribe` lets them
+    react to ingests eagerly. Intermediates (per-query materializations in
+    ``__q<id>__`` namespaces) are not versioned: they churn constantly and
+    are never a cache dependency themselves.
+    """
 
     def __init__(self) -> None:
         self._datasets: dict[str, Dataset] = {}
+        self._versions: dict[str, int] = {}
+        self._listeners: list = []
 
     def register(self, dataset: Dataset) -> None:
         if dataset.name in self._datasets:
             raise CatalogError(f"dataset {dataset.name!r} already registered")
         self._datasets[dataset.name] = dataset
+        self._bump(dataset)
 
     def replace(self, dataset: Dataset) -> None:
-        """Register or overwrite (used when re-running experiments)."""
+        """Register or overwrite (re-ingests and intermediates)."""
         self._datasets[dataset.name] = dataset
+        self._bump(dataset)
+
+    def _bump(self, dataset: Dataset) -> None:
+        if dataset.is_intermediate:
+            return
+        self._versions[dataset.name] = self._versions.get(dataset.name, 0) + 1
+        for listener in self._listeners:
+            listener(dataset.name)
+
+    def version(self, name: str) -> int:
+        """Ingestion version of a base dataset (0 = never ingested)."""
+        return self._versions.get(name, 0)
+
+    def subscribe(self, listener) -> None:
+        """Call ``listener(name)`` after every base-dataset (re-)ingest."""
+        self._listeners.append(listener)
 
     def get(self, name: str) -> Dataset:
         try:

@@ -27,13 +27,20 @@ def load_dataset(
     statistics: StatisticsCatalog,
     tracked_fields: list[str] | None = None,
     scale: float = 1.0,
+    replace: bool = False,
+    precollected: DatasetStatistics | None = None,
 ) -> Dataset:
     """Load ``rows`` as a new base dataset and collect its statistics.
 
     ``tracked_fields`` defaults to every field in the schema (Section 4:
     "we collect these types of statistics for every field of a dataset that
     may participate in any query"). ``scale`` is the modeled full-scale rows
-    per stored row (DESIGN.md §2).
+    per stored row (DESIGN.md §2). ``replace`` permits re-ingesting an
+    existing name (bumping its catalog version, which invalidates cached
+    results that depended on it). ``precollected`` skips the collection pass
+    and registers the given statistics entry instead — the service's sketch
+    store uses this to restore persisted ingestion sketches, which is only
+    sound because the store keys them by dataset *content*.
     """
     partition_key = schema.primary_key[0] if schema.primary_key else None
     dataset = Dataset(
@@ -43,11 +50,18 @@ def load_dataset(
         partition_key=partition_key,
         scale=scale,
     )
-    datasets.register(dataset)
+    if replace:
+        datasets.replace(dataset)
+    else:
+        datasets.register(dataset)
 
-    collector = StatisticsCollector(tracked_fields or list(schema.field_names))
-    collector.observe_rows(rows)
-    statistics.register_from_collector(name, collector, schema.row_width, scale)
+    if precollected is not None:
+        precollected.name = name
+        statistics.register(precollected)
+    else:
+        collector = StatisticsCollector(tracked_fields or list(schema.field_names))
+        collector.observe_rows(rows)
+        statistics.register_from_collector(name, collector, schema.row_width, scale)
     return dataset
 
 

@@ -1,0 +1,113 @@
+"""Service experiment smoke tests: skewed load, tail latency, baseline gate."""
+
+import json
+
+from repro.bench import format_service, run_service, service_templates
+from repro.bench.service import (
+    check_baseline,
+    percentile,
+    write_baseline,
+    zipf_weights,
+)
+
+
+class TestWorkloadShape:
+    def test_templates_are_distinct_pushdown_candidates(self):
+        templates = service_templates(12)
+        assert [label for label, _ in templates] == [f"Q{i}" for i in range(1, 13)]
+        described = {query.describe() for _, query in templates}
+        assert len(described) == 12
+        # every variant carries the two-predicate da filter (candidate rule)
+        for _, query in templates:
+            da_predicates = [
+                p for p in query.predicates if p.column.startswith("da.")
+            ]
+            assert len(da_predicates) == 2
+
+    def test_zipf_weights_decay(self):
+        weights = zipf_weights(5)
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] == 1.0
+
+    def test_percentile_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.99) == 99.0
+        assert percentile([], 0.99) == 0.0
+        assert percentile([7.0], 0.50) == 7.0
+
+
+class TestServiceRun:
+    def test_smoke_run_meets_the_workload_floor(self):
+        report = run_service(seed=42, smoke=True)
+        assert report.query_count >= 100
+        assert report.tenants >= 8
+        assert sum(line.queries for line in report.tenant_lines) == report.query_count
+        assert all(line.queries >= 1 for line in report.tenant_lines)
+        assert 0.0 < report.p50 <= report.p95 <= report.p99
+        # skew pays: the hot templates repeat, so most queries are cache hits
+        assert report.cache_hit_rate > 0.5
+        assert report.result_hits > 0
+        assert report.intermediate_hits > 0
+        # the re-ingest probe must observe invalidation, not a stale answer
+        assert report.invalidations > 0
+        assert not report.probe_result_cached
+        assert len(report.timeline_tenants) == report.tenants
+
+    def test_runs_are_deterministic(self):
+        first = run_service(seed=42, smoke=True)
+        second = run_service(seed=42, smoke=True)
+        assert first.baseline() == second.baseline()
+
+    def test_report_formats(self):
+        report = run_service(seed=42, smoke=True)
+        text = format_service(report)
+        assert "query service under skew" in text
+        assert "p50" in text and "p95" in text and "p99" in text
+        assert "result cache" in text
+        assert "correctly re-ran" in text
+        assert "tenant-0" in text
+
+
+class TestBaselineGate:
+    def test_round_trip_within_tolerance(self, tmp_path):
+        report = run_service(seed=42, smoke=True)
+        path = tmp_path / "baseline.json"
+        write_baseline(report, str(path))
+        assert check_baseline(report, str(path)) == []
+
+    def test_drift_detected(self, tmp_path):
+        report = run_service(seed=42, smoke=True)
+        path = tmp_path / "baseline.json"
+        recorded = report.baseline()
+        recorded["p99"] = recorded["p99"] * 2.0
+        recorded["cache_hit_rate"] = 1.0
+        path.write_text(json.dumps(recorded))
+        violations = check_baseline(report, str(path))
+        assert any("p99" in v for v in violations)
+        assert any("cache_hit_rate" in v for v in violations)
+
+    def test_missing_baseline_is_a_violation(self, tmp_path):
+        report = run_service(seed=42, smoke=True)
+        violations = check_baseline(report, str(tmp_path / "absent.json"))
+        assert violations and "no baseline" in violations[0]
+
+    def test_workload_shape_change_detected(self, tmp_path):
+        report = run_service(seed=42, smoke=True)
+        path = tmp_path / "baseline.json"
+        recorded = report.baseline()
+        recorded["tenants"] = 4
+        path.write_text(json.dumps(recorded))
+        violations = check_baseline(report, str(path))
+        assert any("tenants" in v for v in violations)
+
+
+class TestServiceCli:
+    def test_cli_smoke_with_baseline_check(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["service", "--smoke", "--check-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "Query service" in out
+        assert "p99" in out
+        assert "BASELINE VIOLATION" not in out

@@ -63,13 +63,10 @@ def dim_schema(prefix: str) -> Schema:
     )
 
 
-def build_star_session(
-    fact_rows: int = 2000, seed: int = 7, cluster: ClusterConfig | None = None
-) -> Session:
-    """A fact table with three dimensions — the workhorse test universe."""
+def load_star_data(target, fact_rows: int = 2000, seed: int = 7) -> None:
+    """Load the star universe into anything with ``.load`` (Session/service)."""
     rng = random.Random(seed)
-    session = Session(cluster or small_cluster())
-    session.load(
+    target.load(
         "fact",
         FACT_SCHEMA,
         [
@@ -84,15 +81,23 @@ def build_star_session(
         ],
         scale=10_000.0,
     )
-    session.load(
+    target.load(
         "da", dim_schema("a"), [{"a_id": i, "a_attr": i % 7} for i in range(50)]
     )
-    session.load(
+    target.load(
         "db", dim_schema("b"), [{"b_id": i, "b_attr": i % 5} for i in range(40)]
     )
-    session.load(
+    target.load(
         "dc", dim_schema("c"), [{"c_id": i, "c_attr": i % 3} for i in range(30)]
     )
+
+
+def build_star_session(
+    fact_rows: int = 2000, seed: int = 7, cluster: ClusterConfig | None = None
+) -> Session:
+    """A fact table with three dimensions — the workhorse test universe."""
+    session = Session(cluster or small_cluster())
+    load_star_data(session, fact_rows=fact_rows, seed=seed)
     return session
 
 

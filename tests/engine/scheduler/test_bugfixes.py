@@ -22,6 +22,7 @@ from repro.engine.scheduler import JobScheduler, SchedulerConfig
 from repro.engine.scheduler.request import JobOutcome, JobRequest
 from repro.engine.scheduler.scheduler import QueryHandle
 from repro.optimizers import make_optimizer
+from repro.spec import PlannerSpec
 
 from tests.conftest import build_star_session, star_query
 
@@ -122,7 +123,7 @@ class TestFailureLeaks:
         # SimulatedFailure carries a checkpoint: its intermediates are the
         # recovery state, so the namespace must survive the failure.
         session = build_star_session()
-        doomed = session.submit(star_query(), fail_after_jobs=2)
+        doomed = session.submit(star_query(), PlannerSpec.of("dynamic", fail_after_jobs=2))
         session.run_all()
         assert doomed.failed
         assert doomed.error.checkpoint is not None
@@ -132,7 +133,7 @@ class TestFailureLeaks:
 class TestFailedQueryAccounting:
     def test_failed_query_gets_schedule_info(self):
         session = build_star_session()
-        doomed = session.submit(star_query(), fail_after_jobs=2)
+        doomed = session.submit(star_query(), PlannerSpec.of("dynamic", fail_after_jobs=2))
         healthy = session.submit(star_query())
         session.run_all()
 
@@ -150,7 +151,7 @@ class TestFailedQueryAccounting:
 
     def test_failed_query_gets_timeline_event(self):
         session = build_star_session()
-        doomed = session.submit(star_query(), fail_after_jobs=2)
+        doomed = session.submit(star_query(), PlannerSpec.of("dynamic", fail_after_jobs=2))
         session.submit(star_query())
         session.run_all()
 
@@ -164,7 +165,7 @@ class TestFailedQueryAccounting:
         from repro.bench.throughput import _lines_for
 
         session = build_star_session()
-        doomed = session.submit(star_query(), fail_after_jobs=2, label="doomed")
+        doomed = session.submit(star_query(), PlannerSpec.of("dynamic", fail_after_jobs=2), label="doomed")
         healthy = session.submit(star_query(), label="healthy")
         session.run_all()
 

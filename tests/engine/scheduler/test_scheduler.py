@@ -203,7 +203,7 @@ class TestConcurrentAdmission:
     def test_unknown_optimizer_raises_at_submit(self):
         session = build_star_session()
         with pytest.raises(OptimizationError):
-            session.submit(star_query(), optimizer="nope")
+            session.submit(star_query(), "nope")
 
 
 class TestFailureIsolation:
@@ -211,7 +211,7 @@ class TestFailureIsolation:
         clean = build_star_session().execute(star_query())
 
         session = build_star_session()
-        doomed = session.submit(star_query(), fail_after_jobs=2)
+        doomed = session.submit(star_query(), PlannerSpec.of("dynamic", fail_after_jobs=2))
         healthy = session.submit(star_query())
         session.run_all()
 
@@ -229,7 +229,7 @@ class TestFailureIsolation:
         clean = build_star_session().execute(star_query())
 
         session = build_star_session()
-        doomed = session.submit(star_query(), fail_after_jobs=2)
+        doomed = session.submit(star_query(), PlannerSpec.of("dynamic", fail_after_jobs=2))
         session.submit(star_query())
         session.run_all()
 

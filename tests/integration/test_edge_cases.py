@@ -42,14 +42,14 @@ class TestEmptyInputs:
     @pytest.mark.parametrize("optimizer", ALL)
     def test_empty_fact(self, optimizer):
         session = session_with([], [{"d_id": i, "v": i} for i in range(5)])
-        result = session.execute(two_table_query(), optimizer=optimizer)
+        result = session.execute(two_table_query(), optimizer)
         session.reset_intermediates()
         assert result.rows == []
 
     @pytest.mark.parametrize("optimizer", ALL)
     def test_empty_dimension(self, optimizer):
         session = session_with([{"id": i, "k": i} for i in range(10)], [])
-        result = session.execute(two_table_query(), optimizer=optimizer)
+        result = session.execute(two_table_query(), optimizer)
         session.reset_intermediates()
         assert result.rows == []
 
@@ -69,7 +69,7 @@ class TestEmptyInputs:
             .build()
         )
         for optimizer in ALL:
-            result = session.execute(query, optimizer=optimizer)
+            result = session.execute(query, optimizer)
             session.reset_intermediates()
             assert result.rows == []
 
@@ -78,7 +78,7 @@ class TestDegenerateQueries:
     def test_single_table_no_joins_dynamic(self):
         session = session_with([{"id": i, "k": i} for i in range(10)], [])
         query = QueryBuilder().select("f.id").from_table("f").build()
-        result = session.execute(query, optimizer="dynamic")
+        result = session.execute(query, "dynamic")
         session.reset_intermediates()
         assert len(result.rows) == 10
 
@@ -91,7 +91,7 @@ class TestDegenerateQueries:
             .where_eq("f.k", 1)
             .build()
         )
-        result = session.execute(query, optimizer="dynamic")
+        result = session.execute(query, "dynamic")
         session.reset_intermediates()
         assert len(result.rows) == 10
 
@@ -106,7 +106,7 @@ class TestSkew:
         query = two_table_query()
         reference = evaluate_reference(query, session)
         for optimizer in ("dynamic", "cost_based", "worst_order"):
-            result = session.execute(query, optimizer=optimizer)
+            result = session.execute(query, optimizer)
             session.reset_intermediates()
             assert rows_equal_unordered(result.rows, reference)
 
@@ -114,7 +114,7 @@ class TestSkew:
         fact = [{"id": i, "k": 7} for i in range(50)]
         dims = [{"d_id": 7, "v": 1}]
         session = session_with(fact, dims)
-        result = session.execute(two_table_query(), optimizer="dynamic")
+        result = session.execute(two_table_query(), "dynamic")
         session.reset_intermediates()
         assert len(result.rows) == 50
 
@@ -141,6 +141,6 @@ class TestSelfJoinAliases:
         )
         reference = evaluate_reference(query, session)
         for optimizer in ("dynamic", "cost_based"):
-            result = session.execute(query, optimizer=optimizer)
+            result = session.execute(query, optimizer)
             session.reset_intermediates()
             assert rows_equal_unordered(result.rows, reference)

@@ -17,6 +17,7 @@ from hypothesis import strategies as st
 from repro.common.types import DataType, Schema
 from repro.lang.builder import QueryBuilder
 from repro.session import Session
+from repro.spec import PlannerSpec
 from repro.testing import evaluate_reference, rows_equal_unordered
 
 from tests.conftest import small_cluster
@@ -106,7 +107,7 @@ def test_all_optimizers_match_oracle(case):
     session, query = build_case(*case)
     reference = evaluate_reference(query, session)
     for optimizer in OPTIMIZERS:
-        result = session.execute(query, optimizer=optimizer)
+        result = session.execute(query, optimizer)
         session.reset_intermediates()
         assert rows_equal_unordered(result.rows, reference), optimizer
 
@@ -118,6 +119,6 @@ def test_dynamic_with_inl_matches_oracle(case):
     for d in range(len(query.tables) - 1):
         session.create_index("fact", f"fk{d}")
     reference = evaluate_reference(query, session)
-    result = session.execute(query, optimizer="dynamic", inl_enabled=True)
+    result = session.execute(query, PlannerSpec.of("dynamic", inl_enabled=True))
     session.reset_intermediates()
     assert rows_equal_unordered(result.rows, reference)

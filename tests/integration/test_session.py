@@ -5,6 +5,7 @@ import pytest
 from repro.common.errors import OptimizationError
 from repro.common.types import DataType, Schema
 from repro.session import Session
+from repro.spec import PlannerSpec
 
 from tests.conftest import build_star_session, star_query
 
@@ -27,7 +28,7 @@ class TestSession:
     def test_execute_unknown_optimizer(self):
         session = build_star_session()
         with pytest.raises(OptimizationError):
-            session.execute(star_query(), optimizer="nope")
+            session.execute(star_query(), "nope")
 
     def test_create_index_enables_inl(self):
         session = build_star_session()
@@ -36,7 +37,7 @@ class TestSession:
 
     def test_reset_intermediates_removes_stats_too(self):
         session = build_star_session()
-        session.execute(star_query(), optimizer="dynamic")
+        session.execute(star_query(), "dynamic")
         session.reset_intermediates()
         leftovers = [n for n in session.statistics.names() if n.startswith("__")]
         assert leftovers == []
@@ -53,6 +54,8 @@ class TestSession:
     def test_execute_forwards_options(self):
         session = build_star_session()
         session.create_index("fact", "f_a")
-        result = session.execute(star_query(), optimizer="dynamic", inl_enabled=True)
+        result = session.execute(
+            star_query(), PlannerSpec.of("dynamic", inl_enabled=True)
+        )
         session.reset_intermediates()
         assert result.rows is not None

@@ -130,7 +130,7 @@ class TestEndToEnd:
         )
         from repro.testing import evaluate_reference, rows_equal_unordered
 
-        result = star_session.execute(query, optimizer="dynamic")
+        result = star_session.execute(query, "dynamic")
         star_session.reset_intermediates()
         assert rows_equal_unordered(
             result.rows, evaluate_reference(query, star_session)

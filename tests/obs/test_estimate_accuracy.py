@@ -95,7 +95,7 @@ def accuracy_runs():
     query = skew_query()
     results = {}
     for optimizer in ("dynamic", "cost_based"):
-        results[optimizer] = session.execute(query, optimizer=optimizer)
+        results[optimizer] = session.execute(query, optimizer)
         session.reset_intermediates()
     reference = evaluate_reference(query, session)
     return results, reference

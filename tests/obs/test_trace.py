@@ -35,7 +35,7 @@ class TestQError:
 def traced_star():
     """One dynamic execution of the star query, trace attached."""
     session = build_star_session()
-    result = session.execute(star_query(), optimizer="dynamic")
+    result = session.execute(star_query(), "dynamic")
     return session, result
 
 
@@ -167,7 +167,7 @@ class TestAllOptimizersTraced:
     @pytest.mark.parametrize("name", sorted(OPTIMIZERS))
     def test_trace_with_estimates(self, name):
         session = build_star_session()
-        result = session.execute(star_query(), optimizer=name)
+        result = session.execute(star_query(), name)
         trace = result.trace
         assert trace is not None
         assert [s.name for s in trace.phase_spans()] == result.phases
@@ -199,5 +199,5 @@ class TestZeroCost:
 
     def test_result_seconds_equal_trace_end(self):
         session = build_star_session()
-        result = session.execute(star_query(), optimizer="dynamic")
+        result = session.execute(star_query(), "dynamic")
         assert result.trace.root.end_seconds == pytest.approx(result.seconds)

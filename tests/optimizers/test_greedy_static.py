@@ -29,7 +29,7 @@ class TestGreedyStatic:
         )
 
     def test_registered(self, session):
-        result = session.execute(star_query(), optimizer="greedy_static")
+        result = session.execute(star_query(), "greedy_static")
         session.reset_intermediates()
         assert result.plan_description
 

@@ -1,0 +1,244 @@
+"""Query service behavior: caching, invalidation, admission, tenancy."""
+
+import pytest
+
+from repro.common.errors import AdmissionError, OptimizationError
+from repro.engine.scheduler import SchedulerConfig
+from repro.service import QueryService, ServiceConfig
+
+from tests.conftest import dim_schema, load_star_data, small_cluster, star_query
+
+
+def build_service(**kwargs) -> QueryService:
+    service = QueryService(small_cluster(), **kwargs)
+    load_star_data(service)
+    return service
+
+
+class TestTenantSessions:
+    def test_sessions_are_memoized_per_tenant(self):
+        service = build_service()
+        assert service.session("a") is service.session("a")
+        assert service.session("a") is not service.session("b")
+        assert service.tenants() == ["a", "b"]
+
+    def test_empty_tenant_rejected(self):
+        with pytest.raises(ValueError):
+            QueryService(small_cluster()).session("")
+
+    def test_tenant_session_rejects_private_stack_arguments(self):
+        from repro.session import Session
+
+        service = QueryService(small_cluster())
+        with pytest.raises(OptimizationError, match="QueryService"):
+            Session(cluster=small_cluster(), service=service, tenant="a")
+
+    def test_tenant_sessions_share_the_service_stack(self):
+        service = build_service()
+        a, b = service.session("a"), service.session("b")
+        assert a.executor is b.executor is service.executor
+        assert a.scheduler is b.scheduler is service.scheduler
+        assert a.feedback is service.feedback
+        assert a.dataset_rows("fact") == 2000
+
+
+class TestResultCache:
+    def test_repeat_submission_answered_from_cache(self):
+        service = build_service()
+        tenant = service.session("a")
+        first = tenant.submit(star_query(), "dynamic")
+        service.run_all()
+        second = service.session("b").submit(star_query(), "dynamic")
+        service.run_all()
+
+        assert not first.schedule.cache_hit
+        assert second.schedule.cache_hit
+        assert second.schedule.busy_seconds == 0.0
+        assert second.result().rows == first.result().rows
+        assert service.cache.stats.result_hits == 1
+        report = second.result().explain_analyze()
+        assert "answered from result cache" in report
+
+    def test_cache_key_distinguishes_parameters_and_strategy(self):
+        service = build_service()
+        tenant = service.session("a")
+        tenant.submit(star_query(), "dynamic")
+        service.run_all()
+        other = tenant.submit(star_query(), "cost_based")
+        service.run_all()
+        assert not other.schedule.cache_hit
+
+    def test_reingest_invalidates_cached_results(self):
+        service = build_service()
+        tenant = service.session("a")
+        first = tenant.submit(star_query(), "dynamic")
+        service.run_all()
+        # replacing a dimension bumps its version; the cached result depends
+        # on it and must be evicted even though the rows are identical
+        service.load(
+            "da",
+            dim_schema("a"),
+            [{"a_id": i, "a_attr": i % 7} for i in range(50)],
+            replace=True,
+        )
+        second = tenant.submit(star_query(), "dynamic")
+        service.run_all()
+        assert not second.schedule.cache_hit
+        assert service.cache.stats.invalidations >= 1
+        assert second.result().rows == first.result().rows
+
+    def test_cache_hits_do_not_feed_the_feedback_log(self):
+        service = build_service()
+        tenant = service.session("a")
+        tenant.submit(star_query(), "dynamic")
+        service.run_all()
+        observed = service.feedback.queries
+        tenant.submit(star_query(), "dynamic")
+        service.run_all()
+        assert service.feedback.queries == observed
+
+
+class TestIntermediateCache:
+    def test_pushdown_replay_is_free_and_answer_preserving(self):
+        service = build_service(
+            config=ServiceConfig(result_cache=False, intermediate_cache=True)
+        )
+        tenant = service.session("a")
+        first = tenant.submit(star_query(), "dynamic")
+        service.run_all()
+        tenant.reset_intermediates()
+        service.reset_scheduler()
+        second = tenant.submit(star_query(), "dynamic")
+        service.run_all()
+
+        assert service.cache.stats.intermediate_hits >= 1
+        assert second.result().rows == first.result().rows
+        # replayed materializations charge nothing, so the repeat is cheaper
+        assert (
+            second.result().metrics.total_seconds
+            < first.result().metrics.total_seconds
+        )
+
+    def test_reingest_evicts_dependent_intermediates(self):
+        service = build_service(
+            config=ServiceConfig(result_cache=False, intermediate_cache=True)
+        )
+        tenant = service.session("a")
+        tenant.submit(star_query(), "dynamic")
+        service.run_all()
+        tenant.reset_intermediates()
+        hits_before = service.cache.stats.intermediate_hits
+        service.load(
+            "db",
+            dim_schema("b"),
+            [{"b_id": i, "b_attr": i % 5} for i in range(40)],
+            replace=True,
+        )
+        service.reset_scheduler()
+        tenant.submit(star_query(), "dynamic")
+        service.run_all()
+        # the db pushdown re-ran; only non-db pushdowns may have replayed
+        stats = service.cache.stats
+        assert stats.invalidations >= 1
+        assert stats.intermediate_misses >= 1
+        assert stats.intermediate_hits >= hits_before
+
+
+class TestAdmissionControl:
+    def test_bounded_queue_rejects_overflow(self):
+        service = build_service(
+            scheduler_config=SchedulerConfig(max_queued=2),
+            config=ServiceConfig(result_cache=False, intermediate_cache=False),
+        )
+        tenant = service.session("a")
+        tenant.submit(star_query(), "dynamic")
+        tenant.submit(star_query(), "dynamic")
+        with pytest.raises(AdmissionError, match="tenant 'a'"):
+            tenant.submit(star_query(), "dynamic")
+
+    def test_fair_admission_interleaves_tenants(self):
+        config = SchedulerConfig(fair_tenants=True, max_concurrent_queries=1)
+        service = build_service(
+            scheduler_config=config,
+            config=ServiceConfig(result_cache=False, intermediate_cache=False),
+        )
+        a_handles = [
+            service.session("a").submit(star_query(), "dynamic")
+            for _ in range(3)
+        ]
+        b_handle = service.session("b").submit(star_query(), "dynamic")
+        service.run_all()
+        # deficit round-robin: b's only query is admitted right after a's
+        # first, ahead of a's own backlog
+        assert b_handle.schedule.admitted_at < a_handles[1].schedule.admitted_at
+
+    def test_fifo_without_fairness_serves_the_flooder_first(self):
+        config = SchedulerConfig(fair_tenants=False, max_concurrent_queries=1)
+        service = build_service(
+            scheduler_config=config,
+            config=ServiceConfig(result_cache=False, intermediate_cache=False),
+        )
+        a_handles = [
+            service.session("a").submit(star_query(), "dynamic")
+            for _ in range(3)
+        ]
+        b_handle = service.session("b").submit(star_query(), "dynamic")
+        service.run_all()
+        assert b_handle.schedule.admitted_at >= a_handles[2].schedule.admitted_at
+
+
+class TestAdaptiveSlices:
+    def test_adaptive_slices_preserve_answers(self):
+        even = build_service(
+            scheduler_config=SchedulerConfig(job_slots=2),
+            config=ServiceConfig(result_cache=False, intermediate_cache=False),
+        )
+        adaptive = build_service(
+            scheduler_config=SchedulerConfig(job_slots=2, adaptive_slices=True),
+            config=ServiceConfig(result_cache=False, intermediate_cache=False),
+        )
+        results = {}
+        for name, service in (("even", even), ("adaptive", adaptive)):
+            handles = [
+                service.session("a").submit(star_query(), "dynamic"),
+                service.session("b").submit(star_query(), "cost_based"),
+            ]
+            service.run_all()
+            results[name] = [sorted(map(repr, h.result().rows)) for h in handles]
+        assert results["even"] == results["adaptive"]
+
+
+class TestObservability:
+    def test_queue_delay_annotation_in_explain_analyze(self):
+        service = build_service(
+            scheduler_config=SchedulerConfig(max_concurrent_queries=1),
+            config=ServiceConfig(result_cache=False, intermediate_cache=False),
+        )
+        service.session("a").submit(star_query(), "dynamic")
+        delayed = service.session("b").submit(star_query(), "dynamic")
+        service.run_all()
+        assert delayed.schedule.queue_delay_seconds > 0.0
+        report = delayed.result().explain_analyze()
+        assert "-- schedule: queue delay" in report
+        assert "tenant 'b'" in report
+
+    def test_timeline_carries_tenant_lanes(self):
+        service = build_service()
+        service.session("a").submit(star_query(), "dynamic")
+        service.session("b").submit(star_query(), "cost_based")
+        service.run_all()
+        timeline = service.scheduler.timeline
+        assert timeline.multi_tenant
+        assert timeline.tenant_names() == ["a", "b"]
+        assert timeline.events_for_tenant("a")
+        assert "tenant" in timeline.render()
+        assert '"name": "tenant a"' in timeline.to_chrome_trace()
+
+    def test_describe_reports_cache_and_tenants(self):
+        service = build_service()
+        service.session("a").submit(star_query(), "dynamic")
+        service.run_all()
+        info = service.describe()
+        assert info["tenants"] == ["a"]
+        assert "fact" in info["datasets"]
+        assert info["cache"]["result_misses"] == 1

@@ -1,0 +1,179 @@
+"""Persistent feedback/sketch store: round-trips, tokens, versioning."""
+
+import json
+
+import pytest
+
+from repro.common.errors import StatisticsError
+from repro.common.types import DataType, Schema
+from repro.core.policy import ReplanPolicy
+from repro.service import QueryService, ServiceConfig, ServiceStore, ingest_token
+from repro.service.store import STORE_FORMAT_VERSION, StoredFeedback
+
+from tests.conftest import load_star_data, small_cluster, star_query
+
+
+def build_service(**kwargs) -> QueryService:
+    service = QueryService(small_cluster(), **kwargs)
+    load_star_data(service)
+    return service
+
+
+def canonical(state: dict) -> str:
+    """JSON-normalized state (tuples and lists compare equal on disk)."""
+    return json.dumps(state, sort_keys=True, default=repr)
+
+
+class TestIngestToken:
+    SCHEMA = Schema.of(("x", DataType.INT), ("y", DataType.INT))
+    ROWS = [{"x": 1, "y": 2}, {"x": 3, "y": 4}]
+
+    def test_equal_content_equal_token(self):
+        assert ingest_token(self.SCHEMA, self.ROWS, 1.0) == ingest_token(
+            self.SCHEMA, [dict(r) for r in self.ROWS], 1.0
+        )
+
+    def test_value_change_changes_token(self):
+        changed = [{"x": 1, "y": 2}, {"x": 3, "y": 5}]
+        assert ingest_token(self.SCHEMA, self.ROWS, 1.0) != ingest_token(
+            self.SCHEMA, changed, 1.0
+        )
+
+    def test_row_order_changes_token(self):
+        # order drives partition layout, so it must change the token
+        assert ingest_token(self.SCHEMA, self.ROWS, 1.0) != ingest_token(
+            self.SCHEMA, list(reversed(self.ROWS)), 1.0
+        )
+
+    def test_scale_changes_token(self):
+        assert ingest_token(self.SCHEMA, self.ROWS, 1.0) != ingest_token(
+            self.SCHEMA, self.ROWS, 2.0
+        )
+
+
+class TestStoreRoundTrip:
+    def test_save_load_save_is_byte_identical(self, tmp_path):
+        service = build_service()
+        tenant = service.session("alice")
+        tenant.submit(star_query(), "dynamic")
+        service.run_all()
+
+        first = tmp_path / "store.json"
+        second = tmp_path / "store2.json"
+        service.save_store(str(first))
+        restored = ServiceStore.open(str(first))
+        restored.save(str(second))
+        assert first.read_bytes() == second.read_bytes()
+        assert restored.sketched_datasets() == ["da", "db", "dc", "fact"]
+        assert restored.feedback.queries == service.feedback.queries
+
+    def test_restored_feedback_derives_identical_thresholds(self, tmp_path):
+        service = build_service()
+        tenant = service.session("alice")
+        for _ in range(3):
+            tenant.submit(star_query(), "dynamic")
+            service.run_all()
+            tenant.reset_intermediates()
+
+        path = tmp_path / "store.json"
+        service.save_store(str(path))
+        restored = ServiceStore.open(str(path))
+
+        policy = ReplanPolicy.adaptive_policy(min_history=1)
+        query = star_query()
+        original = service.feedback.derive(policy, service.cluster, query)
+        assert restored.feedback.derive(policy, service.cluster, query) == original
+
+    def test_restored_sketches_skip_recollection_with_equal_estimates(
+        self, tmp_path
+    ):
+        saver = build_service()
+        path = tmp_path / "store.json"
+        saver.save_store(str(path))
+
+        fresh = QueryService(small_cluster())
+        fresh.load_store(str(path))
+        load_star_data(fresh)  # byte-identical rows: tokens match
+        # the persisted sketches were registered, not recollected, and they
+        # describe the data identically to the original collection pass
+        for name in ("fact", "da", "db", "dc"):
+            assert canonical(fresh.statistics.get(name).to_state()) == canonical(
+                saver.statistics.get(name).to_state()
+            )
+        # the round-trip must not have mutated the persisted state either
+        roundtrip = tmp_path / "store2.json"
+        fresh.save_store(str(roundtrip))
+        assert path.read_bytes() == roundtrip.read_bytes()
+
+    def test_changed_content_rejects_persisted_sketches(self, tmp_path):
+        saver = build_service()
+        path = tmp_path / "store.json"
+        saver.save_store(str(path))
+
+        fresh = QueryService(small_cluster())
+        fresh.load_store(str(path))
+        load_star_data(fresh, seed=8)  # different rows: tokens differ
+        # a fresh collection replaced the stale sketch entry for fact
+        assert canonical(fresh.store.to_state()) != canonical(
+            saver.store.to_state()
+        )
+
+    def test_format_version_mismatch_rejected(self):
+        store = ServiceStore()
+        state = store.to_state()
+        state["version"] = STORE_FORMAT_VERSION + 1
+        with pytest.raises(StatisticsError, match="format"):
+            ServiceStore().restore_state(state)
+
+
+class TestStoredFeedbackGroups:
+    def test_observations_route_into_dataset_groups(self):
+        service = build_service()
+        tenant = service.session("alice")
+        tenant.submit(star_query(), "dynamic")
+        service.run_all()
+        assert isinstance(service.feedback, StoredFeedback)
+        assert "da+db+dc+fact" in service.feedback.groups
+        # the combined window still sees everything
+        assert service.feedback.queries >= 1
+
+
+class TestDeterminismGuard:
+    """Two tenants on a shared cold store == two isolated sessions."""
+
+    FACETS = ("rows", "metrics", "plan", "phases", "trace", "decisions")
+
+    @staticmethod
+    def _fingerprint(result) -> dict:
+        from tests.engine.equivalence import canonical_rows, metrics_fingerprint
+
+        return {
+            "rows": canonical_rows(result.rows),
+            "metrics": metrics_fingerprint(result.metrics),
+            "plan": result.plan_description,
+            "phases": repr(list(result.phases)),
+            "trace": result.trace.to_json() if result.trace else "none",
+            "decisions": repr(tuple(result.decisions)),
+        }
+
+    def test_shared_cold_store_matches_isolated_sessions(self):
+        from tests.conftest import build_star_session
+
+        shared = build_service(
+            config=ServiceConfig(result_cache=False, intermediate_cache=False)
+        )
+        shared_results = []
+        for tenant in ("alice", "bob"):
+            handle = shared.session(tenant).submit(star_query(), "dynamic")
+            shared.run_all()
+            shared_results.append(self._fingerprint(handle.result()))
+            shared.session(tenant).reset_intermediates()
+            shared.reset_scheduler()
+
+        for shared_fp in shared_results:
+            session = build_star_session()
+            handle = session.submit(star_query(), "dynamic")
+            session.run_all()
+            isolated_fp = self._fingerprint(handle.result())
+            for facet in self.FACETS:
+                assert shared_fp[facet] == isolated_fp[facet], facet

@@ -1,9 +1,10 @@
-"""PlannerSpec: the typed optimizer-selection API and its deprecation shim.
+"""PlannerSpec: the typed optimizer-selection API.
 
 Contract: every Session entry point resolves its arguments through
-``resolve_planner``; an invalid spec fails at construction time; the legacy
-``optimizer="name"`` + loose-kwargs form warns once per entry point and
-produces results byte-identical to the equivalent spec.
+``resolve_planner``; an invalid spec fails at construction time; a bare
+strategy-name string still resolves positionally; the removed legacy
+``optimizer="name"`` + loose-kwargs form fails fast with the equivalent
+``PlannerSpec.of`` call spelled out in the error.
 """
 
 from __future__ import annotations
@@ -16,16 +17,9 @@ import pytest
 from repro.common.errors import OptimizationError
 from repro.core.policy import ReplanPolicy
 from repro.obs.report import ExplainReport
-from repro.spec import PlannerSpec, _reset_deprecation_warnings, resolve_planner
+from repro.spec import PlannerSpec, resolve_planner
 
 from tests.conftest import build_star_session, star_query
-
-
-@pytest.fixture(autouse=True)
-def fresh_warning_state():
-    _reset_deprecation_warnings()
-    yield
-    _reset_deprecation_warnings()
 
 
 class TestPlannerSpecValidation:
@@ -90,8 +84,8 @@ class TestResolvePlanner:
         with pytest.raises(OptimizationError, match="inside the PlannerSpec"):
             resolve_planner(PlannerSpec(), options={"inl_enabled": True})
 
-    def test_conflicting_strategy_names_raise(self):
-        with pytest.raises(OptimizationError, match="conflicting"):
+    def test_string_plus_legacy_keyword_raises(self):
+        with pytest.raises(OptimizationError, match="removed"):
             resolve_planner("dynamic", optimizer="ingres")
 
     def test_non_string_planner_raises(self):
@@ -103,38 +97,48 @@ class TestResolvePlanner:
             warnings.simplefilter("error")
             assert resolve_planner() == PlannerSpec()
 
-    def test_legacy_keyword_warns_once_per_entry_point(self):
-        with pytest.warns(DeprecationWarning, match="PlannerSpec"):
-            spec = resolve_planner(optimizer="ingres", entry="execute")
-        assert spec == PlannerSpec.of("ingres")
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")  # second call must stay silent
+    def test_legacy_keyword_fails_fast_with_migration_hint(self):
+        with pytest.raises(OptimizationError) as excinfo:
             resolve_planner(optimizer="ingres", entry="execute")
-        with pytest.warns(DeprecationWarning):  # but other entries still warn
-            resolve_planner(optimizer="ingres", entry="submit")
+        message = str(excinfo.value)
+        assert "removed" in message
+        assert "PlannerSpec.of('ingres')" in message
 
-    def test_positional_string_strategy_warns_and_resolves(self):
-        with pytest.warns(DeprecationWarning):
-            spec = resolve_planner("pilot_run", options={"sample_limit": 100})
-        assert spec == PlannerSpec.of("pilot_run", sample_limit=100)
+    def test_loose_options_fail_fast_with_option_names(self):
+        with pytest.raises(OptimizationError) as excinfo:
+            resolve_planner("pilot_run", options={"sample_limit": 100})
+        message = str(excinfo.value)
+        assert "removed" in message
+        assert "PlannerSpec.of('pilot_run', sample_limit=...)" in message
+
+    def test_bare_string_resolves_without_error(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_planner("pilot_run") == PlannerSpec.of("pilot_run")
 
 
-class TestShimEquivalence:
-    """The legacy call forms produce byte-identical executions."""
+class TestStringFormEquivalence:
+    """The bare strategy-name string produces byte-identical executions."""
 
-    def test_legacy_execute_matches_spec_execute(self):
-        legacy_session = build_star_session()
-        with pytest.warns(DeprecationWarning):
-            legacy = legacy_session.execute(star_query(), optimizer="cost_based")
+    def test_string_execute_matches_spec_execute(self):
+        string_session = build_star_session()
+        by_name = string_session.execute(star_query(), "cost_based")
 
         spec_session = build_star_session()
         spec = spec_session.execute(star_query(), PlannerSpec.of("cost_based"))
 
-        assert legacy.rows == spec.rows
-        assert legacy.plan_description == spec.plan_description
-        assert legacy.phases == spec.phases
-        assert asdict(legacy.metrics) == asdict(spec.metrics)
-        assert legacy.seconds == spec.seconds
+        assert by_name.rows == spec.rows
+        assert by_name.plan_description == spec.plan_description
+        assert by_name.phases == spec.phases
+        assert asdict(by_name.metrics) == asdict(spec.metrics)
+        assert by_name.seconds == spec.seconds
+
+    def test_legacy_execute_keyword_fails_fast(self):
+        session = build_star_session()
+        with pytest.raises(OptimizationError, match="removed"):
+            session.execute(star_query(), optimizer="cost_based")
+        with pytest.raises(OptimizationError, match="removed"):
+            session.submit(star_query(), "dynamic", inl_enabled=True)
 
     def test_invalid_option_fails_at_submit_time(self):
         session = build_star_session()
