@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro import PlannerSpec, Session
 from repro.optimizers.worst_order import true_filtered_rows
 from repro.stats.estimation import filtered_cardinality
-from repro.workloads import tpcds, tpch
+from repro.workloads import get_workload
 
 
 def report(session: Session, query, cases: list[tuple[str, str]]) -> None:
@@ -39,13 +39,14 @@ def report(session: Session, query, cases: list[tuple[str, str]]) -> None:
 def main() -> None:
     print("== TPC-H Q8: correlated fixed-value predicates on orders ==")
     session = Session()
-    tpch.load_into(session, 100)
-    q8 = tpch.query_8()
+    tpch = get_workload("tpch", 100)
+    tpch.load_into(session)
+    q8 = tpch.query("Q8")
     report(session, q8, [("o", "correlated date window + status")])
 
     print()
     print("== TPC-H Q9: UDF predicates ==")
-    q9 = tpch.query_9()
+    q9 = tpch.query("Q9")
     report(
         session,
         q9,
@@ -55,8 +56,9 @@ def main() -> None:
     print()
     print("== TPC-DS Q50: parameterized predicates ==")
     ds_session = Session()
-    tpcds.load_into(ds_session, 100)
-    q50 = tpcds.query_50()
+    tpcds = get_workload("tpcds", 100)
+    tpcds.load_into(ds_session)
+    q50 = tpcds.query("Q50")
     report(ds_session, q50, [("d1", "runtime-bound month/year parameters")])
 
     print()

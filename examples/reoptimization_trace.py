@@ -15,13 +15,14 @@ from __future__ import annotations
 from repro import Session
 from repro.core import DynamicOptimizer
 from repro.optimizers import execute_tree
-from repro.workloads import tpcds
+from repro.workloads import get_workload
 
 
 def main() -> None:
     session = Session()
-    tpcds.load_into(session, 100)
-    query = tpcds.query_17()
+    tpcds = get_workload("tpcds", 100)
+    tpcds.load_into(session)
+    query = tpcds.query("Q17")
 
     print("Original query:")
     print(query.describe())

@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro import PlannerSpec, Session
 from repro.lang import parse_query
 from repro.stats import discover_correlations
-from repro.workloads import tpch
+from repro.workloads import get_workload
 
 Q9_SQL = """
 SELECT n.n_name, l.l_extendedprice, ps.ps_supplycost
@@ -39,7 +39,7 @@ WHERE o.o_custkey = c.c_custkey
 
 def main() -> None:
     session = Session()
-    tpch.load_into(session, 100)
+    get_workload("tpch", 100).load_into(session)
 
     query = parse_query(Q9_SQL)
     print("Parsed Q9 from SQL text:")

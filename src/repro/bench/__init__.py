@@ -16,12 +16,23 @@ from repro.bench.overhead import (
 from repro.bench.plans import PlanEntry, format_matrix, plan_matrix
 from repro.bench.runner import (
     COMPARISON_OPTIMIZERS,
+    JOB_QUERIES,
+    QERROR_OPTIMIZERS,
     QUERIES,
     SCALE_FACTORS,
+    SWEEP_QUERIES,
     clear_cache,
     run_query,
     workbench,
     workbench_for_query,
+    workbench_for_spec,
+)
+from repro.bench.skew import (
+    SkewCell,
+    format_skew,
+    run_skew,
+    skew_ok,
+    sweep_cell,
 )
 from repro.bench.service import (
     ServiceReport,
@@ -55,12 +66,16 @@ __all__ = [
     "COMPARISON_OPTIMIZERS",
     "ComparisonCell",
     "ImprovementRow",
+    "JOB_QUERIES",
     "OverheadReport",
     "PAPER_TABLE1",
     "PlanEntry",
+    "QERROR_OPTIMIZERS",
     "QUERIES",
     "SCALE_FACTORS",
+    "SWEEP_QUERIES",
     "ServiceReport",
+    "SkewCell",
     "ThroughputReport",
     "VERIFY_OPTIMIZERS",
     "VerifyRow",
@@ -75,6 +90,7 @@ __all__ = [
     "format_reports",
     "format_rows",
     "format_service",
+    "format_skew",
     "format_throughput",
     "format_verify",
     "improvement_rows",
@@ -82,12 +98,16 @@ __all__ = [
     "plan_matrix",
     "run_query",
     "run_service",
+    "run_skew",
     "run_throughput",
     "run_verify",
     "service_templates",
+    "skew_ok",
+    "sweep_cell",
     "throughput_queries",
     "verify_cell",
     "verify_ok",
     "workbench",
     "workbench_for_query",
+    "workbench_for_spec",
 ]

@@ -2,14 +2,23 @@
 
 Usage::
 
-    python -m repro.bench                 # everything (slow: full sweep)
+    python -m repro.bench                 # print the experiment registry
+    python -m repro.bench all             # everything (slow: full sweep)
     python -m repro.bench fig6 table1     # selected experiments
     python -m repro.bench fig7 --sf 100   # one scale factor only
+    python -m repro.bench skew --smoke    # CI-sized adversarial sweep
+
+Each experiment lives in one :class:`Experiment` entry of the
+:data:`REGISTRY` below — the argument parser, the printed experiment list,
+the unknown-name error and the dispatch loop all derive from it, so adding
+an experiment means adding exactly one entry.
 """
 
 from __future__ import annotations
 
 import argparse
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.bench import (
     comparison,
@@ -18,36 +27,192 @@ from repro.bench import (
     plans,
     runner,
     service,
+    skew,
     table1,
     throughput,
     verify,
 )
 
-EXPERIMENTS = (
-    "fig6",
-    "fig7",
-    "fig8",
-    "table1",
-    "plans",
-    "qerror",
-    "throughput",
-    "service",
-    "feedback",
-    "verify",
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered bench experiment.
+
+    ``run(args, shared)`` prints its report and returns True on failure;
+    ``shared`` is a per-invocation scratch dict experiments use to reuse
+    expensive intermediates (fig7 and table1 share the comparison cells).
+    """
+
+    name: str
+    description: str
+    run: Callable[[argparse.Namespace, dict], bool]
+
+
+def _comparison_sfs(args) -> tuple[int, ...]:
+    return tuple(args.sf) if args.sf else (10, 100, 1000)
+
+
+def _comparison_cells(args, shared):
+    if "fig7_cells" not in shared:
+        shared["fig7_cells"] = comparison.figure7(_comparison_sfs(args), seed=args.seed)
+    return shared["fig7_cells"]
+
+
+def _run_fig6(args, shared) -> bool:
+    sfs = tuple(args.sf) if args.sf else (100, 1000)
+    print("=== Figure 6: re-optimization / online statistics / push-down overheads ===")
+    print(overhead.format_reports(overhead.figure6(sfs, seed=args.seed)))
+    return False
+
+
+def _run_fig7(args, shared) -> bool:
+    print("=== Figure 7: execution time comparison ===")
+    print(comparison.format_cells(_comparison_cells(args, shared)))
+    return False
+
+
+def _run_table1(args, shared) -> bool:
+    print("=== Table 1: average improvement of the dynamic approach ===")
+    table_sfs = tuple(sf for sf in _comparison_sfs(args) if sf in (100, 1000)) or (100,)
+    cells = _comparison_cells(args, shared)
+    print(table1.format_rows(table1.improvement_rows(cells, table_sfs)))
+    return False
+
+
+def _run_fig8(args, shared) -> bool:
+    print("=== Figure 8: comparison with INL join enabled ===")
+    print(comparison.format_cells(comparison.figure8(_comparison_sfs(args), seed=args.seed)))
+    return False
+
+
+def _run_qerror(args, shared) -> bool:
+    print("=== Estimate accuracy: Q-error per optimizer at the final stage ===")
+    qerror_sfs = tuple(args.sf) if args.sf else (10,)
+    print(runner.format_qerror(runner.qerror_rows(qerror_sfs, seed=args.seed)))
+    return False
+
+
+def _run_throughput(args, shared) -> bool:
+    print("=== Multi-query throughput: scheduler vs one-at-a-time ===")
+    throughput_sf = (tuple(args.sf) if args.sf else (10,))[0]
+    query_count = 2 if args.smoke else 4
+    if args.engine == "compare":
+        # The engine comparison measures per-row engine throughput, so
+        # it defaults to the largest bench scale and the full batch —
+        # at SF 10 fixed planning/scheduling overhead (identical across
+        # engines) dominates and the ratio collapses toward 1.
+        compare_sf = (tuple(args.sf) if args.sf else (1000,))[0]
+        comparison_report = throughput.compare_engines(
+            scale_factor=compare_sf,
+            query_count=4,
+            seed=args.seed,
+            job_slots=args.job_slots,
+        )
+        print(throughput.format_throughput(comparison_report.vectorized))
+        print()
+        print(throughput.format_engine_comparison(comparison_report))
+    else:
+        report = throughput.run_throughput(
+            scale_factor=throughput_sf,
+            query_count=query_count,
+            seed=args.seed,
+            job_slots=args.job_slots,
+            engine=args.engine,
+        )
+        print(throughput.format_throughput(report))
+    return False
+
+
+def _run_service(args, shared) -> bool:
+    print("=== Query service: tail latency under a skewed multi-tenant load ===")
+    service_report = service.run_service(seed=args.seed, smoke=args.smoke)
+    print(service.format_service(service_report))
+    failed = False
+    if args.write_baseline:
+        service.write_baseline(service_report)
+        print(f"baseline recorded at {service.BASELINE_PATH}")
+    if args.check_baseline:
+        violations = service.check_baseline(service_report)
+        for violation in violations:
+            print(f"BASELINE VIOLATION: {violation}")
+        failed = bool(violations)
+    return failed
+
+
+def _run_feedback(args, shared) -> bool:
+    print("=== Feedback-driven re-planning: fixed schedule vs ReplanPolicy ===")
+    print(feedback.format_feedback(feedback.run_feedback(smoke=args.smoke, seed=args.seed)))
+    return False
+
+
+def _run_skew(args, shared) -> bool:
+    print("=== Adversarial skew sweep: all strategies x (skew, correlation) grid ===")
+    cells = skew.run_skew(seed=args.seed, smoke=args.smoke)
+    print(skew.format_skew(cells))
+    return not skew.skew_ok(cells)
+
+
+def _run_verify(args, shared) -> bool:
+    print("=== Verifier sweep: every strategy must compile clean jobs ===")
+    verify_sfs = tuple(args.sf) if args.sf else ((10,) if args.smoke else (10, 100))
+    verify_rows = verify.run_verify(verify_sfs, seed=args.seed)
+    print(verify.format_verify(verify_rows))
+    return not verify.verify_ok(verify_rows)
+
+
+def _run_plans(args, shared) -> bool:
+    print("=== Appendix: plans generated per optimizer (Figures 11-23) ===")
+    sfs = _comparison_sfs(args)
+    print(plans.format_matrix(plans.plan_matrix(sfs, seed=args.seed)))
+    print(plans.format_matrix(plans.plan_matrix(sfs, inl_enabled=True, seed=args.seed)))
+    return False
+
+
+#: the single source of truth: list printing, parsing and dispatch all
+#: derive from this tuple.
+REGISTRY = (
+    Experiment("fig6", "re-optimization / online-stats / push-down overheads", _run_fig6),
+    Experiment("fig7", "execution time comparison across strategies", _run_fig7),
+    Experiment("table1", "average improvement of the dynamic approach", _run_table1),
+    Experiment("fig8", "strategy comparison with INL join enabled", _run_fig8),
+    Experiment("qerror", "estimate accuracy (Q-error) per strategy", _run_qerror),
+    Experiment("throughput", "multi-query scheduler throughput", _run_throughput),
+    Experiment("service", "multi-tenant query service tail latency", _run_service),
+    Experiment("feedback", "fixed replan schedule vs ReplanPolicy", _run_feedback),
+    Experiment("skew", "adversarial skew/correlation sweep, all strategies", _run_skew),
+    Experiment("verify", "verifier sweep: zero diagnostics everywhere", _run_verify),
+    Experiment("plans", "appendix plan matrix per optimizer", _run_plans),
 )
+
+EXPERIMENTS = tuple(experiment.name for experiment in REGISTRY)
+
+
+def experiment_list() -> str:
+    """The registry, one line per experiment — what a bare run prints."""
+    width = max(len(name) for name in EXPERIMENTS)
+    lines = ["available experiments (python -m repro.bench <name> [...]):"]
+    lines += [
+        f"  {experiment.name:{width}s}  {experiment.description}"
+        for experiment in REGISTRY
+    ]
+    lines.append("  all" + " " * (width - 3) + "  every experiment above, in order")
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.",
+        epilog=experiment_list(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     # note: no argparse `choices` here — with nargs="*" Python 3.11 rejects
-    # the empty (run-everything) invocation; validated manually below.
+    # the empty (list-the-registry) invocation; validated manually below.
     parser.add_argument(
         "experiments",
         nargs="*",
-        help=f"which experiments to run (default: all of {', '.join(EXPERIMENTS)})",
+        help="which experiments to run ('all' for the full sweep; "
+        "no arguments prints the registry)",
     )
     parser.add_argument(
         "--sf",
@@ -89,106 +254,23 @@ def main(argv: list[str] | None = None) -> int:
         "simulated seconds are identical across engines)",
     )
     args = parser.parse_args(argv)
-    unknown = [e for e in args.experiments if e not in EXPERIMENTS]
+    if not args.experiments:
+        print(experiment_list())
+        return 0
+    chosen = args.experiments
+    if chosen == ["all"]:
+        chosen = list(EXPERIMENTS)
+    unknown = [e for e in chosen if e not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments {unknown}; choose from {list(EXPERIMENTS)}")
-    chosen = args.experiments or list(EXPERIMENTS)
-    comparison_sfs = tuple(args.sf) if args.sf else (10, 100, 1000)
-    overhead_sfs = tuple(args.sf) if args.sf else (100, 1000)
 
-    if "fig6" in chosen:
-        print("=== Figure 6: re-optimization / online statistics / push-down overheads ===")
-        print(overhead.format_reports(overhead.figure6(overhead_sfs, seed=args.seed)))
-        print()
-    cells = None
-    if "fig7" in chosen or "table1" in chosen:
-        cells = comparison.figure7(comparison_sfs, seed=args.seed)
-    if "fig7" in chosen:
-        print("=== Figure 7: execution time comparison ===")
-        print(comparison.format_cells(cells))
-        print()
-    if "table1" in chosen:
-        print("=== Table 1: average improvement of the dynamic approach ===")
-        table_sfs = tuple(sf for sf in comparison_sfs if sf in (100, 1000)) or (100,)
-        print(table1.format_rows(table1.improvement_rows(cells, table_sfs)))
-        print()
-    if "fig8" in chosen:
-        print("=== Figure 8: comparison with INL join enabled ===")
-        print(comparison.format_cells(comparison.figure8(comparison_sfs, seed=args.seed)))
-        print()
-    if "qerror" in chosen:
-        print("=== Estimate accuracy: Q-error per optimizer at the final stage ===")
-        qerror_sfs = tuple(args.sf) if args.sf else (10,)
-        print(runner.format_qerror(runner.qerror_rows(qerror_sfs, seed=args.seed)))
-        print()
-    if "throughput" in chosen:
-        print("=== Multi-query throughput: scheduler vs one-at-a-time ===")
-        throughput_sf = (tuple(args.sf) if args.sf else (10,))[0]
-        query_count = 2 if args.smoke else 4
-        if args.engine == "compare":
-            # The engine comparison measures per-row engine throughput, so
-            # it defaults to the largest bench scale and the full batch —
-            # at SF 10 fixed planning/scheduling overhead (identical across
-            # engines) dominates and the ratio collapses toward 1.
-            compare_sf = (tuple(args.sf) if args.sf else (1000,))[0]
-            comparison_report = throughput.compare_engines(
-                scale_factor=compare_sf,
-                query_count=4,
-                seed=args.seed,
-                job_slots=args.job_slots,
-            )
-            print(throughput.format_throughput(comparison_report.vectorized))
-            print()
-            print(throughput.format_engine_comparison(comparison_report))
-        else:
-            report = throughput.run_throughput(
-                scale_factor=throughput_sf,
-                query_count=query_count,
-                seed=args.seed,
-                job_slots=args.job_slots,
-                engine=args.engine,
-            )
-            print(throughput.format_throughput(report))
-        print()
     failed = False
-    if "service" in chosen:
-        print("=== Query service: tail latency under a skewed multi-tenant load ===")
-        service_report = service.run_service(seed=args.seed, smoke=args.smoke)
-        print(service.format_service(service_report))
-        if args.write_baseline:
-            service.write_baseline(service_report)
-            print(f"baseline recorded at {service.BASELINE_PATH}")
-        if args.check_baseline:
-            violations = service.check_baseline(service_report)
-            for violation in violations:
-                print(f"BASELINE VIOLATION: {violation}")
-            failed = failed or bool(violations)
+    shared: dict = {}
+    for experiment in REGISTRY:
+        if experiment.name not in chosen:
+            continue
+        failed = experiment.run(args, shared) or failed
         print()
-    if "feedback" in chosen:
-        print("=== Feedback-driven re-planning: fixed schedule vs ReplanPolicy ===")
-        print(
-            feedback.format_feedback(
-                feedback.run_feedback(smoke=args.smoke, seed=args.seed)
-            )
-        )
-        print()
-    if "verify" in chosen:
-        print("=== Verifier sweep: every strategy must compile clean jobs ===")
-        verify_sfs = (
-            tuple(args.sf) if args.sf else ((10,) if args.smoke else (10, 100))
-        )
-        verify_rows = verify.run_verify(verify_sfs, seed=args.seed)
-        print(verify.format_verify(verify_rows))
-        print()
-        failed = failed or not verify.verify_ok(verify_rows)
-    if "plans" in chosen:
-        print("=== Appendix: plans generated per optimizer (Figures 11-23) ===")
-        print(plans.format_matrix(plans.plan_matrix(comparison_sfs, seed=args.seed)))
-        print(
-            plans.format_matrix(
-                plans.plan_matrix(comparison_sfs, inl_enabled=True, seed=args.seed)
-            )
-        )
     return 1 if failed else 0
 
 

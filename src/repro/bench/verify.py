@@ -1,7 +1,8 @@
 """Verifier sweep: every strategy x evaluation query must verify clean.
 
 ``python -m repro.bench verify`` runs all registered optimization strategies
-over the paper's four evaluation queries with the verify-on-compile gate
+over the paper's four evaluation queries plus the JOB-style suite (J1-J3)
+with the verify-on-compile gate
 active (it is on by default) and reports, per combination, how many jobs the
 :mod:`repro.analysis` verifier checked and what its host-side wall-time
 overhead was. The sweep asserts **zero diagnostics**: any
@@ -23,12 +24,13 @@ from dataclasses import dataclass
 from time import perf_counter
 
 from repro.analysis.diagnostics import PlanVerificationError
-from repro.bench.runner import QUERIES, run_query, workbench_for_query
-from repro.optimizers import OPTIMIZERS
+from repro.bench.runner import SWEEP_QUERIES, run_query, workbench_for_query
+from repro.optimizers import available_strategies
 
 #: the verifier sweep covers every registered strategy, not just the
-#: Figure 7 comparison set — greedy_static and from_order included.
-VERIFY_OPTIMIZERS = tuple(sorted(OPTIMIZERS))
+#: Figure 7 comparison set — greedy_static, from_order and sketch_online
+#: included; enumerated from the registry so new planners enroll for free.
+VERIFY_OPTIMIZERS = tuple(sorted(available_strategies()))
 
 
 @dataclass(frozen=True)
@@ -80,10 +82,14 @@ def run_verify(
     optimizers: tuple[str, ...] = VERIFY_OPTIMIZERS,
     seed: int = 42,
 ) -> list[VerifyRow]:
-    """The full sweep: every strategy x query x scale factor."""
+    """The full sweep: every strategy x query x scale factor.
+
+    The default query set is :data:`~repro.bench.runner.SWEEP_QUERIES` —
+    the paper's four evaluation queries plus the JOB suite.
+    """
     rows = []
     for scale_factor in scale_factors:
-        for label in queries or tuple(QUERIES):
+        for label in queries or tuple(SWEEP_QUERIES):
             for optimizer in optimizers:
                 rows.append(verify_cell(label, scale_factor, optimizer, seed))
     return rows

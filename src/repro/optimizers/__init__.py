@@ -1,4 +1,4 @@
-"""Optimization strategies: the dynamic approach and its five comparators.
+"""Optimization strategies: the dynamic approach and its eight comparators.
 
 Imports are lazy (PEP 562) because the dynamic optimizer lives in
 ``repro.core`` and subclasses/uses pieces from this package — eager imports
@@ -22,6 +22,7 @@ OPTIMIZERS = {
     "pilot_run": ("repro.optimizers.pilot_run", "PilotRunOptimizer"),
     "ingres": ("repro.optimizers.ingres", "IngresLikeOptimizer"),
     "greedy_static": ("repro.optimizers.greedy_static", "GreedyStaticOptimizer"),
+    "sketch_online": ("repro.optimizers.sketch_online", "SketchOnlineOptimizer"),
 }
 
 _LAZY_EXPORTS = {
@@ -33,11 +34,22 @@ _LAZY_EXPORTS = {
     "PilotRunOptimizer": ("repro.optimizers.pilot_run", "PilotRunOptimizer"),
     "IngresLikeOptimizer": ("repro.optimizers.ingres", "IngresLikeOptimizer"),
     "GreedyStaticOptimizer": ("repro.optimizers.greedy_static", "GreedyStaticOptimizer"),
+    "SketchOnlineOptimizer": ("repro.optimizers.sketch_online", "SketchOnlineOptimizer"),
     "PlannerToolkit": ("repro.algebra.toolkit", "PlannerToolkit"),
     "alias_stats_key": ("repro.algebra.toolkit", "alias_stats_key"),
     "best_bushy_plan": ("repro.optimizers.enumeration", "best_bushy_plan"),
     "from_order_plan": ("repro.optimizers.from_order", "from_order_plan"),
 }
+
+
+def available_strategies() -> tuple[str, ...]:
+    """Registered strategy names in registry (paper-presentation) order.
+
+    The single source every sweep enumerates from — benches that need a
+    stable display order use this tuple directly; benches that sweep
+    exhaustively sort it.
+    """
+    return tuple(OPTIMIZERS)
 
 
 def optimizer_class(name: str):
@@ -66,6 +78,7 @@ def __getattr__(name: str):
 __all__ = [
     "OPTIMIZERS",
     "Optimizer",
+    "available_strategies",
     "execute_tree",
     "make_optimizer",
     "optimizer_class",

@@ -1,0 +1,166 @@
+"""Online sketch-based optimization [COMPASS, Izenov et al., SIGMOD 2021].
+
+COMPASS computes sketches for every table *during the pre-filtering scans* —
+after local predicates are applied — and then plans the complete join order
+from those sketch estimates alone. The crucial difference from the static
+cost-based baseline is *when* the statistics are taken: ingestion-time
+sketches describe unfiltered base data, so a multi-predicate filter must be
+estimated by multiplying per-predicate selectivities (the independence
+assumption the adversarial workloads break), whereas a post-filter sketch
+*measures* the surviving cardinality and distinct counts exactly. The
+strategy still trusts formula (1) across joins — unlike the dynamic
+approach it never re-optimizes — so it isolates how far measured leaf
+statistics alone close the gap to runtime re-optimization.
+
+Execution shape, as stage generators like the other eight strategies:
+
+1. one **sketch pass per FROM entry** — scan the dataset partition by
+   partition, apply the alias's local predicates, and build a GK + HLL
+   sketch per future join column of each partition, merging the
+   per-partition sketches into one (the distributed sketch-merge COMPASS
+   runs on its workers). The pass happens in-process and is charged to the
+   simulated clock as a virtual-cost job (launch + scan + predicate
+   evaluation + sketch maintenance), the same pattern as pilot-run sampling;
+2. one **planning step** — an exhaustive bushy DP over the measured
+   statistics (zero simulated cost, like every other planner);
+3. one **final job** executing the whole join tree pipelined, with the
+   leaves re-applying predicates inline (sketch passes materialize nothing).
+
+Composes unchanged with the scheduler (stage generator protocol), the
+P001–P007 verifier (the final job is an ordinary compiled job), both
+execution engines (the sketch pass is engine-independent by construction)
+and the QueryService.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.jobgen import build_final_job
+from repro.algebra.plan import PlanNode
+from repro.algebra.toolkit import PlannerToolkit, alias_stats_key
+from repro.engine.metrics import ExecutionResult, JobMetrics
+from repro.engine.scheduler.request import JobRequest
+from repro.lang.ast import EvaluationContext, Query, split_column
+from repro.obs.trace import Tracer
+from repro.optimizers.base import Optimizer
+from repro.optimizers.enumeration import best_bushy_plan
+from repro.stats.catalog import DatasetStatistics
+from repro.stats.collector import FieldStatistics, StatisticsCollector
+
+
+class SketchOnlineOptimizer(Optimizer):
+    """Sketch during pre-filtering scans; plan the full join order once."""
+
+    name = "sketch_online"
+
+    def __init__(self, inl_enabled: bool = False) -> None:
+        self.inl_enabled = inl_enabled
+        #: the planned join tree of the last execution (plan capture)
+        self.last_tree: PlanNode | None = None
+
+    def stages(self, query: Query, session, namespace: str = ""):
+        metrics = JobMetrics()
+        phases: list[str] = []
+        tracer = Tracer(query_label=f"{self.name}: {', '.join(query.aliases)}")
+        working = session.statistics.copy()
+        context = EvaluationContext(query.parameters, session.udfs)
+
+        for table in query.tables:
+            entry, delta = self._sketch_pass(query, table.alias, session, context)
+            working.register(entry)
+            phase_name = f"sketch:{table.alias}"
+            yield JobRequest(
+                phase=phase_name,
+                cumulative=metrics,
+                virtual_cost=delta,
+                tracer=tracer,
+                kind="sketch",
+            )
+            phases.append(phase_name)
+
+        toolkit = PlannerToolkit(query, session, working, self.inl_enabled)
+        plan = best_bushy_plan(toolkit)
+        job = build_final_job(plan, query, session.datasets)
+        outcome = yield JobRequest(
+            phase="final",
+            cumulative=metrics,
+            job=job,
+            parameters=query.parameters,
+            statistics=working,
+            tracer=tracer,
+            kind="final",
+        )
+        phases.append("final")
+
+        self.last_tree = plan
+        return ExecutionResult(
+            rows=outcome.data.all_rows(),
+            metrics=metrics,
+            plan_description=plan.describe(),
+            phases=phases,
+            trace=tracer.finish(),
+        )
+
+    # -- the sketch pass --------------------------------------------------------
+
+    def _join_columns(self, query: Query, alias: str) -> tuple[str, ...]:
+        """Fields of ``alias`` that participate in any join condition."""
+        columns = []
+        for condition in query.joins:
+            for side in (condition.left, condition.right):
+                side_alias, field_name = split_column(side)
+                if side_alias == alias and field_name not in columns:
+                    columns.append(field_name)
+        return tuple(sorted(columns))
+
+    def _sketch_pass(
+        self, query: Query, alias: str, session, context: EvaluationContext
+    ) -> tuple[DatasetStatistics, JobMetrics]:
+        """One pre-filtering scan: post-predicate sketches for one FROM entry.
+
+        Each partition is sketched independently and the per-partition
+        sketches are merged — the order COMPASS's distributed workers
+        produce. GK and HLL merges are exact (merge-then-estimate equals
+        estimate-over-union), so the merged entry is byte-identical to a
+        single-pass scan while exercising the real distributed dataflow.
+        """
+        table = query.table(alias)
+        dataset = session.datasets.get(table.dataset)
+        predicates = query.predicates_for(alias)
+        columns = self._join_columns(query, alias)
+        prefix = f"{alias}."
+
+        merged: dict[str, FieldStatistics] = {
+            name: FieldStatistics(name) for name in columns
+        }
+        qualified_rows = 0
+        for partition in dataset.partitions:
+            collector = StatisticsCollector(columns)
+            for row in partition:
+                if predicates:
+                    qualified = {prefix + key: value for key, value in row.items()}
+                    if not all(p.evaluate(qualified, context) for p in predicates):
+                        continue
+                collector.observe_row(row)
+            qualified_rows += collector.row_count
+            for name, stats in collector.fields.items():
+                merged[name] = merged[name].merge(stats)
+
+        entry = DatasetStatistics(
+            name=alias_stats_key(alias),
+            row_count=qualified_rows,
+            row_width=dataset.schema.row_width,
+            fields=merged,
+            predicates_applied=True,
+            scale=dataset.scale,
+        )
+
+        cost = session.executor.cost
+        delta = JobMetrics()
+        delta.startup = cost.job_startup()
+        delta.scan = cost.scan(dataset.modeled_rows, dataset.schema.row_width)
+        if predicates:
+            delta.compute = cost.predicate_eval(dataset.modeled_rows)
+        delta.stats = cost.statistics(qualified_rows * dataset.scale, len(columns))
+        delta.tuples_scanned = dataset.row_count
+        delta.jobs = 1
+        return entry, delta

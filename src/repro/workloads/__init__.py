@@ -1,5 +1,13 @@
-"""Workloads: TPC-H / TPC-DS style generators and the paper's four queries."""
+"""Workloads: TPC-H / TPC-DS / JOB generators behind the WorkloadSpec API."""
 
-from repro.workloads import tpcds, tpch
+from repro.workloads import job, tpcds, tpch
+from repro.workloads.spec import WorkloadSpec, available_workloads, get_workload
 
-__all__ = ["tpcds", "tpch"]
+__all__ = [
+    "WorkloadSpec",
+    "available_workloads",
+    "get_workload",
+    "job",
+    "tpcds",
+    "tpch",
+]

@@ -1,0 +1,153 @@
+"""Adversarial-universe rewriter for the TPC workloads.
+
+The stock TPC-H/TPC-DS generators are estimator-friendly: foreign keys are
+uniform, so formula (1)'s uniformity assumption holds and static plans land
+close to the dynamic ones. This module re-skins an already-generated TPC
+universe with the same two knobs the JOB generator exposes:
+
+- ``skew`` — fact-table foreign keys are redrawn from a Zipf(``skew``)
+  distribution over the referenced table, concentrating most fact rows on a
+  head few percent of keys.
+- ``correlation`` — the probability that a *hot* (Zipf-head) entity carries
+  exactly the attribute values the paper's evaluation queries filter on
+  (TPC-H: the Q8 part type and finished-orders date window; TPC-DS: the Q17
+  April-2001 sold-date window). Each filter then keeps a small *fraction of
+  entities* but a large *fraction of fact rows* — the independence-breaking
+  regime.
+
+The rewrite happens post-generation so the dimension populations, schemas
+and loading path are untouched; only rows are replaced. Used through
+:func:`repro.workloads.get_workload` — ``get_workload("tpch", 100, skew=1.3,
+correlation=0.9)`` — never directly by experiments.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import derive
+from repro.workloads.job.generator import zipf_picker
+from repro.workloads.tpch.queries import Q8_DATE_LOW
+
+#: fraction of the referenced key space treated as the hot (Zipf-head) set
+HOT_KEY_FRACTION = 0.05
+
+#: TPC-DS Q17's d1 filter: April 2001 (d_year=2001, d_moy=4) as day ordinals.
+#: CALENDAR_YEARS=(1999, 2000, 2001) puts 2001 at year index 2; d_moy=4 is
+#: day-of-year 90..119 under the generator's 30-day months.
+_TPCDS_HOT_DATE_LOW = 2 * 365 + 90
+_TPCDS_HOT_DATE_HIGH = 2 * 365 + 119
+
+#: the part type TPC-H Q8 filters on
+_Q8_PART_TYPE = "SMALL PLATED COPPER"
+
+
+def _hot_count(population: int) -> int:
+    return max(1, int(population * HOT_KEY_FRACTION))
+
+
+def rewrite(
+    workload: str,
+    tables: dict[str, list[dict]],
+    scale_factor: int,
+    seed: int,
+    skew: float,
+    correlation: float,
+) -> dict[str, list[dict]]:
+    """Apply the skew/correlation knobs to a generated TPC universe in place."""
+    rng = derive(
+        seed, "adversarial", workload, scale_factor,
+        f"skew={skew}", f"corr={correlation}",
+    )
+    if workload == "tpch":
+        _rewrite_tpch(tables, rng, skew, correlation)
+    elif workload == "tpcds":
+        _rewrite_tpcds(tables, rng, skew, correlation)
+    else:
+        raise ValueError(
+            f"no adversarial rewrite for workload {workload!r}; "
+            "the job generator takes the knobs natively"
+        )
+    return tables
+
+
+def _rewrite_tpch(tables: dict[str, list[dict]], rng, skew: float, correlation: float) -> None:
+    """Skew lineitem's (part, supplier) and order references; correlate the
+    hot parts/orders with Q8's filters."""
+    part = tables["part"]
+    partsupp = tables["partsupp"]
+    orders = tables["orders"]
+    lineitem = tables["lineitem"]
+
+    hot_parts = _hot_count(len(part))
+    hot_orders = _hot_count(len(orders))
+
+    def correlated() -> bool:
+        return correlation > 0 and rng.random() < correlation
+
+    for row in part[:hot_parts]:
+        if correlated():
+            row["p_type"] = _Q8_PART_TYPE
+    for row in orders[:hot_orders]:
+        if correlated():
+            # Inside the Q8 window, which the base generator already keeps
+            # fully inside the finished-orders era.
+            row["o_orderdate"] = Q8_DATE_LOW + rng.randrange(2 * 365)
+            row["o_orderstatus"] = "F"
+
+    # partsupp assigns parts round-robin (index i -> part i % |part|), so the
+    # Zipf head of partsupp indices is exactly the hot-part prefix.
+    pick_ps = zipf_picker(len(partsupp), skew, rng)
+    pick_order = zipf_picker(len(orders), skew, rng)
+    for row in lineitem:
+        ps_row = partsupp[pick_ps()]
+        order = orders[pick_order()]
+        row["l_partkey"] = ps_row["ps_partkey"]
+        row["l_suppkey"] = ps_row["ps_suppkey"]
+        row["l_orderkey"] = order["o_orderkey"]
+
+
+def _rewrite_tpcds(tables: dict[str, list[dict]], rng, skew: float, correlation: float) -> None:
+    """Skew store_sales item references; correlate hot-item sales with Q17's
+    sold-date window, then rebuild the derived fact tables so the benchmark's
+    engineered sale/return/catalog relationships survive the rewrite."""
+    item = tables["item"]
+    store_sales = tables["store_sales"]
+    store_returns = tables["store_returns"]
+    catalog_sales = tables["catalog_sales"]
+
+    hot_items = _hot_count(len(item))
+    pick_item = zipf_picker(len(item), skew, rng)
+
+    def correlated() -> bool:
+        return correlation > 0 and rng.random() < correlation
+
+    for row in store_sales:
+        item_sk = pick_item()
+        row["ss_item_sk"] = item_sk
+        if item_sk < hot_items and correlated():
+            row["ss_sold_date_sk"] = _TPCDS_HOT_DATE_LOW + rng.randrange(
+                _TPCDS_HOT_DATE_HIGH - _TPCDS_HOT_DATE_LOW + 1
+            )
+
+    # Returns derive from sales (one exact triple match per return) and
+    # catalog rows overlap half the time — the same invariants the base
+    # generator engineers, re-derived from the rewritten sales.
+    calendar_days = 3 * 365
+    returned = rng.sample(range(len(store_sales)), len(store_returns))
+    for sr_row, sale_index in zip(store_returns, returned):
+        sale = store_sales[sale_index]
+        sr_row["sr_item_sk"] = sale["ss_item_sk"]
+        sr_row["sr_customer_sk"] = sale["ss_customer_sk"]
+        sr_row["sr_ticket_number"] = sale["ss_ticket_number"]
+        sr_row["sr_returned_date_sk"] = min(
+            calendar_days - 1, sale["ss_sold_date_sk"] + rng.randrange(1, 60)
+        )
+    for i, cs_row in enumerate(catalog_sales):
+        if i % 2 == 0:
+            sale = store_sales[rng.randrange(len(store_sales))]
+            cs_row["cs_item_sk"] = sale["ss_item_sk"]
+            cs_row["cs_bill_customer_sk"] = sale["ss_customer_sk"]
+            cs_row["cs_sold_date_sk"] = min(
+                calendar_days - 1, sale["ss_sold_date_sk"] + rng.randrange(0, 90)
+            )
+        else:
+            cs_row["cs_item_sk"] = pick_item()

@@ -1,0 +1,97 @@
+"""JOB-style benchmark queries over the IMDB-shaped universe.
+
+Three shapes mirroring the Join Order Benchmark's families:
+
+- **J1** — the 6-table star: three fact tables around ``title`` chained to
+  the filtered ``company`` and ``keyword`` dimensions. Under the generator's
+  skew/correlation knobs every dimension filter *looks* selective but keeps
+  exactly the hot entities, so the star's intermediate sizes explode relative
+  to independence-based estimates.
+- **J2** — the 5-table chain ``company ⋈ movie_companies ⋈ title ⋈
+  cast_info ⋈ name``: join-order mistakes here pay the full width of the
+  two fact tables.
+- **J3** — the full 7-table query joining every table, the many-way case
+  where plan-space size and estimate quality both matter.
+
+All join keys are strings (``tt…``/``nm…``/``co…``/``kw…``), exercising the
+non-numeric estimation path (no histograms — equality selectivity comes from
+the HLL distinct counts alone).
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import Query
+from repro.lang.builder import QueryBuilder
+from repro.workloads.job.schema import QUERY_YEAR_HIGH, QUERY_YEAR_LOW
+
+
+def query_j1() -> Query:
+    """The skew-trap star: 6 tables, 5 joins, correlated dimension filters."""
+    return (
+        QueryBuilder()
+        .select("t.t_title", "co.co_name", "k.k_keyword")
+        .from_table("cast_info", "ci")
+        .from_table("title", "t")
+        .from_table("movie_companies", "mc")
+        .from_table("company", "co")
+        .from_table("movie_keyword", "mk")
+        .from_table("keyword", "k")
+        .join("ci.ci_movie", "t.t_id")
+        .join("mc.mc_movie", "t.t_id")
+        .join("mc.mc_company", "co.co_id")
+        .join("mk.mk_movie", "t.t_id")
+        .join("mk.mk_keyword", "k.k_id")
+        .where_eq("t.t_kind", "movie")
+        .where_between("t.t_year", QUERY_YEAR_LOW, QUERY_YEAR_HIGH)
+        .where_eq("co.co_country", "US")
+        .where_eq("k.k_group", "action")
+        .build()
+    )
+
+
+def query_j2() -> Query:
+    """The 5-table chain through both fact tables."""
+    return (
+        QueryBuilder()
+        .select("n.n_name", "t.t_title", "co.co_name")
+        .from_table("company", "co")
+        .from_table("movie_companies", "mc")
+        .from_table("title", "t")
+        .from_table("cast_info", "ci")
+        .from_table("name", "n")
+        .join("mc.mc_company", "co.co_id")
+        .join("mc.mc_movie", "t.t_id")
+        .join("ci.ci_movie", "t.t_id")
+        .join("ci.ci_person", "n.n_id")
+        .where_eq("co.co_country", "US")
+        .where_between("t.t_year", QUERY_YEAR_LOW, QUERY_YEAR_HIGH)
+        .where_eq("n.n_gender", "f")
+        .build()
+    )
+
+
+def query_j3() -> Query:
+    """The full many-way join: all 7 tables, 6 joins, filters on four of them."""
+    return (
+        QueryBuilder()
+        .select("t.t_title", "n.n_name", "co.co_name", "k.k_keyword")
+        .from_table("cast_info", "ci")
+        .from_table("title", "t")
+        .from_table("name", "n")
+        .from_table("movie_companies", "mc")
+        .from_table("company", "co")
+        .from_table("movie_keyword", "mk")
+        .from_table("keyword", "k")
+        .join("ci.ci_movie", "t.t_id")
+        .join("ci.ci_person", "n.n_id")
+        .join("mc.mc_movie", "t.t_id")
+        .join("mc.mc_company", "co.co_id")
+        .join("mk.mk_movie", "t.t_id")
+        .join("mk.mk_keyword", "k.k_id")
+        .where_eq("t.t_kind", "movie")
+        .where_between("t.t_year", QUERY_YEAR_LOW, QUERY_YEAR_HIGH)
+        .where_eq("ci.ci_role", "actor")
+        .where_eq("co.co_country", "US")
+        .where_eq("k.k_group", "action")
+        .build()
+    )

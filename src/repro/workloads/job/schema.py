@@ -1,0 +1,125 @@
+"""JOB/IMDB-style schemas: string-keyed, many-way star/chain joins.
+
+The Join Order Benchmark (Leis et al., "How Good Are Query Optimizers,
+Really?") runs over the IMDB dataset: movie facts referencing titles, people,
+companies and keywords through *string* identifiers, with heavy popularity
+skew (a few blockbuster titles own most of the cast/company/keyword rows) and
+cross-column correlation (blockbusters are recent theatrical movies made by
+US companies). This module reproduces that shape at the repository's
+simulated scale: three fact tables (``cast_info``, ``movie_companies``,
+``movie_keyword``) star-joined on ``title`` and chained out to the ``name``,
+``company`` and ``keyword`` dimensions, all join keys ``tt…``/``nm…``-style
+strings as in IMDB.
+
+Skew and correlation are *generator knobs* (see
+:mod:`repro.workloads.job.generator`), so the same schema serves both the
+estimator-friendly uniform universe and the adversarial one.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import DataType, Schema
+
+#: production years covered by the title calendar
+YEAR_LOW = 1950
+YEAR_HIGH = 2019
+#: the window the benchmark queries filter on — recent titles
+QUERY_YEAR_LOW = 2000
+QUERY_YEAR_HIGH = 2010
+
+TITLE = Schema.of(
+    ("t_id", DataType.STRING),
+    ("t_title", DataType.STRING),
+    ("t_kind", DataType.STRING),
+    ("t_year", DataType.INT),
+    primary_key=("t_id",),
+)
+
+NAME = Schema.of(
+    ("n_id", DataType.STRING),
+    ("n_name", DataType.STRING),
+    ("n_gender", DataType.STRING),
+    primary_key=("n_id",),
+)
+
+COMPANY = Schema.of(
+    ("co_id", DataType.STRING),
+    ("co_name", DataType.STRING),
+    ("co_country", DataType.STRING),
+    primary_key=("co_id",),
+)
+
+KEYWORD = Schema.of(
+    ("k_id", DataType.STRING),
+    ("k_keyword", DataType.STRING),
+    ("k_group", DataType.STRING),
+    primary_key=("k_id",),
+)
+
+CAST_INFO = Schema.of(
+    ("ci_id", DataType.INT),
+    ("ci_movie", DataType.STRING),
+    ("ci_person", DataType.STRING),
+    ("ci_role", DataType.STRING),
+    primary_key=("ci_id",),
+)
+
+MOVIE_COMPANIES = Schema.of(
+    ("mc_id", DataType.INT),
+    ("mc_movie", DataType.STRING),
+    ("mc_company", DataType.STRING),
+    ("mc_note", DataType.STRING),
+    primary_key=("mc_id",),
+)
+
+MOVIE_KEYWORD = Schema.of(
+    ("mk_id", DataType.INT),
+    ("mk_movie", DataType.STRING),
+    ("mk_keyword", DataType.STRING),
+    primary_key=("mk_id",),
+)
+
+SCHEMAS = {
+    "title": TITLE,
+    "name": NAME,
+    "company": COMPANY,
+    "keyword": KEYWORD,
+    "cast_info": CAST_INFO,
+    "movie_companies": MOVIE_COMPANIES,
+    "movie_keyword": MOVIE_KEYWORD,
+}
+
+
+def row_counts(scale_unit: int) -> dict[str, int]:
+    """Stored (simulated) rows per table for scale unit u = scale_factor/10.
+
+    Fact-to-dimension ratios follow IMDB's (cast_info ≈ 3x title,
+    movie_keyword ≈ 2x title); company and keyword are fixed-size like TPC-H's
+    region/nation.
+    """
+    return {
+        "title": 300 * scale_unit,
+        "name": 240 * scale_unit,
+        "company": 60,
+        "keyword": 90,
+        "cast_info": 900 * scale_unit,
+        "movie_companies": 450 * scale_unit,
+        "movie_keyword": 600 * scale_unit,
+    }
+
+
+def real_row_counts(scale_factor: int) -> dict[str, int]:
+    """Modeled full-scale rows per table (IMDB-proportioned populations).
+
+    As with the TPC workloads the scale factor is a nominal dataset size;
+    company and keyword stay small (IMDB's are fixed-size dictionaries).
+    """
+    return {
+        "title": 250_000 * scale_factor,
+        "name": 420_000 * scale_factor,
+        "company": 2_350,
+        "keyword": 1_340,
+        "cast_info": 3_600_000 * scale_factor,
+        "movie_companies": 260_000 * scale_factor,
+        "movie_keyword": 450_000 * scale_factor,
+    }

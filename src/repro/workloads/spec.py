@@ -1,0 +1,200 @@
+"""Typed workload specifications: the public workload-selection API.
+
+:class:`WorkloadSpec` replaces the ad-hoc per-module imports
+(``from repro.workloads import tpch; tpch.load_into(session, 100)``) with one
+uniform surface over every registered workload: schemas, the generated
+tables, session loading, secondary indexes and the named query suite all
+hang off a single frozen value built by :func:`get_workload`::
+
+    from repro.workloads import get_workload
+
+    spec = get_workload("job", 100, skew=1.3, correlation=0.9)
+    spec.load_into(session)
+    result = session.execute(spec.query("J1"))
+
+The ``skew``/``correlation`` knobs are uniform across workloads: the JOB
+generator takes them natively, while the TPC universes are re-skinned by
+:mod:`repro.workloads.adversarial` post-generation. Knobs at their 0 defaults
+are the identity — ``get_workload("tpch", 100).load_into(session)`` ingests
+byte-identical rows to the legacy ``tpch.load_into(session, 100)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.common.errors import CatalogError
+from repro.lang.ast import Query
+from repro.workloads import job, tpcds, tpch
+from repro.workloads.job import schema as job_schema
+from repro.workloads.tpcds import schema as tpcds_schema
+from repro.workloads.tpch import schema as tpch_schema
+
+
+@dataclass(frozen=True)
+class _Provider:
+    """Everything the registry knows about one workload implementation."""
+
+    schemas: Mapping[str, object]
+    generate: Callable[..., dict[str, list[dict]]]
+    real_row_counts: Callable[[int], dict[str, int]]
+    row_counts: Callable[[int], dict[str, int]]
+    scale_unit: Callable[[int], int]
+    create_secondary_indexes: Callable
+    queries: Mapping[str, Callable[[], Query]]
+    #: the generator accepts skew/correlation directly (JOB); otherwise the
+    #: adversarial rewriter applies the knobs post-generation.
+    native_knobs: bool = False
+
+
+_PROVIDERS: dict[str, _Provider] = {
+    "tpch": _Provider(
+        schemas=tpch_schema.SCHEMAS,
+        generate=tpch.generate,
+        real_row_counts=tpch_schema.real_row_counts,
+        row_counts=tpch_schema.row_counts,
+        scale_unit=tpch.scale_unit,
+        create_secondary_indexes=tpch.create_secondary_indexes,
+        queries={"Q8": tpch.query_8, "Q9": tpch.query_9},
+    ),
+    "tpcds": _Provider(
+        schemas=tpcds_schema.SCHEMAS,
+        generate=tpcds.generate,
+        real_row_counts=tpcds_schema.real_row_counts,
+        row_counts=tpcds_schema.row_counts,
+        scale_unit=tpcds.scale_unit,
+        create_secondary_indexes=tpcds.create_secondary_indexes,
+        queries={"Q17": tpcds.query_17, "Q50": tpcds.query_50},
+    ),
+    "job": _Provider(
+        schemas=job_schema.SCHEMAS,
+        generate=job.generate,
+        real_row_counts=job_schema.real_row_counts,
+        row_counts=job_schema.row_counts,
+        scale_unit=job.scale_unit,
+        create_secondary_indexes=job.create_secondary_indexes,
+        queries={"J1": job.query_j1, "J2": job.query_j2, "J3": job.query_j3},
+        native_knobs=True,
+    ),
+}
+
+
+def available_workloads() -> tuple[str, ...]:
+    """Registered workload names, sorted."""
+    return tuple(sorted(_PROVIDERS))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A validated (workload, scale, knobs) selection.
+
+    Frozen and hashable so benches can cache loaded sessions per spec.
+    """
+
+    name: str
+    scale_factor: int
+    seed: int = 42
+    skew: float = 0.0
+    correlation: float = 0.0
+    #: resolved provider — an implementation detail, excluded from identity
+    _provider: _Provider = field(
+        default=None, repr=False, compare=False  # type: ignore[assignment]
+    )
+
+    def __post_init__(self) -> None:
+        if self._provider is None:
+            raise CatalogError("build WorkloadSpec via get_workload(...)")
+        # validates the scale factor eagerly, like PlannerSpec validates names
+        self._provider.scale_unit(self.scale_factor)
+
+    # -- data -------------------------------------------------------------------
+
+    @property
+    def schemas(self) -> Mapping[str, object]:
+        """Table name -> :class:`~repro.common.types.Schema`."""
+        return self._provider.schemas
+
+    @property
+    def adversarial(self) -> bool:
+        """True when either knob moves the universe off the stock one."""
+        return self.skew > 0 or self.correlation > 0
+
+    def generate(self) -> dict[str, list[dict]]:
+        """All tables of this universe, keyed by table name."""
+        provider = self._provider
+        if provider.native_knobs:
+            return provider.generate(
+                self.scale_factor, self.seed,
+                skew=self.skew, correlation=self.correlation,
+            )
+        tables = provider.generate(self.scale_factor, self.seed)
+        if self.adversarial:
+            from repro.workloads.adversarial import rewrite
+
+            rewrite(
+                self.name, tables, self.scale_factor, self.seed,
+                self.skew, self.correlation,
+            )
+        return tables
+
+    def load_into(self, session) -> None:
+        """Generate and ingest every table, carrying modeled per-row scale."""
+        real = self._provider.real_row_counts(self.scale_factor)
+        for name, rows in self.generate().items():
+            session.load(
+                name,
+                self._provider.schemas[name],
+                rows,
+                scale=real[name] / max(1, len(rows)),
+            )
+
+    def create_secondary_indexes(self, session) -> None:
+        """The workload's INL indexes (idempotence is the session's concern)."""
+        self._provider.create_secondary_indexes(session)
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def queries(self) -> dict[str, Callable[[], Query]]:
+        """The named query suite: label -> zero-argument factory."""
+        return dict(self._provider.queries)
+
+    def query(self, label: str) -> Query:
+        """Build one suite query by label."""
+        try:
+            factory = self._provider.queries[label]
+        except KeyError:
+            raise CatalogError(
+                f"workload {self.name!r} has no query {label!r}; "
+                f"suite: {sorted(self._provider.queries)}"
+            ) from None
+        return factory()
+
+
+def get_workload(
+    name: str,
+    scale_factor: int,
+    seed: int = 42,
+    skew: float = 0.0,
+    correlation: float = 0.0,
+) -> WorkloadSpec:
+    """Build a :class:`WorkloadSpec` for a registered workload.
+
+    Raises :class:`~repro.common.errors.CatalogError` for unknown names —
+    at spec-build time, not when the data is first touched.
+    """
+    try:
+        provider = _PROVIDERS[name]
+    except KeyError:
+        raise CatalogError(
+            f"unknown workload {name!r}; choose from {sorted(_PROVIDERS)}"
+        ) from None
+    return WorkloadSpec(
+        name=name,
+        scale_factor=scale_factor,
+        seed=seed,
+        skew=skew,
+        correlation=correlation,
+        _provider=provider,
+    )

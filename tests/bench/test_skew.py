@@ -1,0 +1,40 @@
+"""Skew-sweep experiment tests: the separation regime must exist."""
+
+from repro.bench.skew import (
+    ADAPTIVE_OPTIMIZERS,
+    SMOKE_CELLS,
+    STATIC_OPTIMIZERS,
+    format_skew,
+    run_skew,
+    skew_ok,
+)
+from repro.optimizers import available_strategies
+
+
+class TestSkewSweep:
+    def test_smoke_grid_shows_separation(self):
+        """The PR's acceptance criterion, pinned: in an adversarial cell both
+        adaptive planners beat every static strategy on simulated time while
+        cost_based's worst Q-error exceeds the replan trigger."""
+        cells = run_skew(smoke=True)
+        assert len(cells) == len(SMOKE_CELLS) * len(available_strategies())
+        assert skew_ok(cells)
+
+    def test_format(self):
+        cells = run_skew(cells=((1.3, 0.9),))
+        text = format_skew(cells)
+        assert "skew=1.3 correlation=0.9" in text
+        assert "sketch_online" in text and "[adaptive]" in text
+        assert "replan trigger" in text
+
+    def test_sets_disjoint_and_registered(self):
+        registered = set(available_strategies())
+        assert set(ADAPTIVE_OPTIMIZERS) <= registered
+        assert set(STATIC_OPTIMIZERS) <= registered
+        assert not set(ADAPTIVE_OPTIMIZERS) & set(STATIC_OPTIMIZERS)
+
+    def test_stock_cell_not_sufficient(self):
+        """The stock universe alone must not satisfy the check — the
+        condition is specifically about the adversarial regime."""
+        cells = run_skew(cells=((0.0, 0.0),))
+        assert not skew_ok(cells)

@@ -23,16 +23,16 @@ from __future__ import annotations
 import json
 from dataclasses import fields, replace
 
-from repro.bench.runner import QUERIES, workbench_for_query
+from repro.bench.runner import SWEEP_QUERIES, workbench_for_query
 from repro.engine.scheduler import JobScheduler, SchedulerConfig
 from repro.engine.vector import ENGINE_ROWWISE, ENGINE_VECTORIZED
-from repro.optimizers import OPTIMIZERS
+from repro.optimizers import available_strategies
 from repro.spec import PlannerSpec
 
 #: every registered strategy; the equivalence sweep covers all of them.
-ALL_STRATEGIES = tuple(sorted(OPTIMIZERS))
-#: the paper's four evaluation queries.
-ALL_QUERIES = tuple(QUERIES)
+ALL_STRATEGIES = tuple(sorted(available_strategies()))
+#: the paper's four evaluation queries plus the JOB-style suite.
+ALL_QUERIES = tuple(SWEEP_QUERIES)
 #: the facets a fingerprint captures, in diff-report order.
 FACETS = (
     "rows",

@@ -7,7 +7,7 @@ from repro.common.errors import OptimizationError
 
 
 class TestRegistry:
-    def test_all_seven_registered(self):
+    def test_all_nine_registered(self):
         assert sorted(optimizers.OPTIMIZERS) == [
             "best_order",
             "cost_based",
@@ -16,8 +16,14 @@ class TestRegistry:
             "greedy_static",
             "ingres",
             "pilot_run",
+            "sketch_online",
             "worst_order",
         ]
+
+    def test_available_strategies_matches_registry(self):
+        assert optimizers.available_strategies() == tuple(optimizers.OPTIMIZERS)
+        # registry (paper-presentation) order: dynamic first
+        assert optimizers.available_strategies()[0] == "dynamic"
 
     def test_make_optimizer(self):
         optimizer = optimizers.make_optimizer("dynamic")

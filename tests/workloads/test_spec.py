@@ -1,0 +1,129 @@
+"""WorkloadSpec registry tests: uniform access, identity, adversarial knobs."""
+
+import pytest
+
+from repro.common.errors import CatalogError
+from repro.lang.ast import Query
+from repro.session import Session
+from repro.workloads import (
+    WorkloadSpec,
+    available_workloads,
+    get_workload,
+    job,
+    tpcds,
+    tpch,
+)
+
+
+class TestRegistry:
+    def test_available_workloads(self):
+        assert available_workloads() == ("job", "tpcds", "tpch")
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(CatalogError):
+            get_workload("imdb", 10)
+
+    def test_direct_construction_rejected(self):
+        with pytest.raises(CatalogError):
+            WorkloadSpec(name="tpch", scale_factor=10)
+
+    def test_bad_scale_rejected_eagerly(self):
+        with pytest.raises(ValueError):
+            get_workload("tpch", 15)
+
+    def test_specs_hashable_and_compare_by_value(self):
+        a = get_workload("tpch", 10)
+        b = get_workload("tpch", 10)
+        assert a == b and hash(a) == hash(b)
+        assert a != get_workload("tpch", 10, skew=1.3)
+        assert len({a, b}) == 1
+
+
+class TestUniformSurface:
+    def test_query_suites(self):
+        assert sorted(get_workload("tpch", 10).queries) == ["Q8", "Q9"]
+        assert sorted(get_workload("tpcds", 10).queries) == ["Q17", "Q50"]
+        assert sorted(get_workload("job", 10).queries) == ["J1", "J2", "J3"]
+
+    def test_query_builds(self):
+        assert isinstance(get_workload("job", 10).query("J2"), Query)
+
+    def test_unknown_query_label(self):
+        with pytest.raises(CatalogError):
+            get_workload("tpch", 10).query("J1")
+
+    def test_schemas_exposed(self):
+        assert "lineitem" in get_workload("tpch", 10).schemas
+        assert "cast_info" in get_workload("job", 10).schemas
+
+    def test_adversarial_flag(self):
+        assert not get_workload("tpch", 10).adversarial
+        assert get_workload("tpch", 10, skew=0.7).adversarial
+        assert get_workload("tpch", 10, correlation=0.5).adversarial
+
+
+class TestZeroKnobIdentity:
+    """Knobs at their defaults are the identity: WorkloadSpec generation is
+    byte-identical to the legacy per-module entry points, so migrating the
+    bench cache to specs changed nothing about the stock universes."""
+
+    def test_tpch(self):
+        assert get_workload("tpch", 10).generate() == tpch.generate(10)
+
+    def test_tpcds(self):
+        assert get_workload("tpcds", 10).generate() == tpcds.generate(10)
+
+    def test_job(self):
+        assert get_workload("job", 10).generate() == job.generate(10)
+
+
+class TestAdversarialKnobs:
+    def test_deterministic(self):
+        spec = get_workload("tpch", 10, skew=1.3, correlation=0.9)
+        assert spec.generate() == spec.generate()
+
+    def test_tpch_rewrite_touches_only_fact_side(self):
+        base = tpch.generate(10)
+        skewed = get_workload("tpch", 10, skew=1.3, correlation=0.9).generate()
+        assert skewed["lineitem"] != base["lineitem"]
+        for untouched in ("nation", "region", "supplier", "customer", "partsupp"):
+            assert skewed[untouched] == base[untouched]
+
+    def test_tpch_skew_preserves_join_integrity(self):
+        skewed = get_workload("tpch", 10, skew=1.3).generate()
+        pairs = {(p["ps_partkey"], p["ps_suppkey"]) for p in skewed["partsupp"]}
+        orders = {o["o_orderkey"] for o in skewed["orders"]}
+        assert all(
+            (l["l_partkey"], l["l_suppkey"]) in pairs for l in skewed["lineitem"]
+        )
+        assert all(l["l_orderkey"] in orders for l in skewed["lineitem"])
+
+    def test_tpcds_returns_still_derive_from_sales(self):
+        skewed = get_workload("tpcds", 10, skew=1.1, correlation=0.9).generate()
+        sales = {
+            (s["ss_item_sk"], s["ss_customer_sk"], s["ss_ticket_number"])
+            for s in skewed["store_sales"]
+        }
+        assert all(
+            (r["sr_item_sk"], r["sr_customer_sk"], r["sr_ticket_number"]) in sales
+            for r in skewed["store_returns"]
+        )
+
+
+class TestLoadInto:
+    def test_scales_match_legacy_loader(self):
+        via_spec, via_module = Session(), Session()
+        get_workload("tpch", 10).load_into(via_spec)
+        tpch.load_into(via_module, 10)
+        for name in ("lineitem", "nation"):
+            assert (
+                via_spec.datasets.get(name).scale
+                == via_module.datasets.get(name).scale
+            )
+
+    def test_secondary_indexes(self):
+        session = Session()
+        spec = get_workload("job", 10)
+        spec.load_into(session)
+        spec.create_secondary_indexes(session)
+        assert session.datasets.get("cast_info").has_index("ci_movie")
