@@ -96,7 +96,7 @@ def main() -> None:
     print("Query:")
     print(query.describe())
     print()
-    print(f"{'optimizer':12s} {'sim seconds':>12s}  rows  plan")
+    print(f"{'optimizer':18s} {'sim seconds':>12s}  rows  plan")
     baseline = None
     for optimizer in session.optimizer_names():
         result = session.execute(query, PlannerSpec.of(optimizer))
@@ -105,7 +105,7 @@ def main() -> None:
             baseline = len(result.rows)
         assert len(result.rows) == baseline, "optimizers must agree!"
         print(
-            f"{optimizer:12s} {result.seconds:12.2f}  {len(result.rows):4d}  "
+            f"{optimizer:18s} {result.seconds:12.2f}  {len(result.rows):4d}  "
             f"{result.plan_description}"
         )
 

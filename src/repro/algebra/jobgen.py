@@ -18,6 +18,8 @@ from repro.engine.operators.joins import (
     IndexNestedLoopJoinOp,
     JoinAlgorithm,
 )
+from repro.engine.operators.base import PhysicalOperator
+from repro.engine.operators.filters import SemiJoinFilterOp
 from repro.engine.operators.scan import ReaderOp, ScanOp
 from repro.engine.operators.select import ProjectOp, SelectOp
 from repro.engine.operators.sink import DistributeResultOp, SinkOp
@@ -169,6 +171,47 @@ def build_sink_job(
     op = compile_plan(plan, datasets, set(keep_columns) | set(stats_columns))
     sink = SinkOp(op, name, keep_columns, stats_columns)
     return Job(sink, label=f"{name} = {plan.describe()}", phase=phase, plan=plan)
+
+
+def build_transfer_job(
+    source_name: str,
+    alias: str,
+    is_intermediate: bool,
+    predicates: tuple[Predicate, ...],
+    filters: tuple,
+    keep_columns: tuple[str, ...],
+    name: str,
+    stats_columns: tuple[str, ...],
+    phase: str,
+) -> Job:
+    """One predicate-transfer reduce job:
+    Scan/Reader → Select → SemiJoinFilter → Sink.
+
+    ``filters`` is the ordered ``(qualified probe column, BloomFilter)``
+    tuple the partners transferred; ``source_name`` is the base dataset (with
+    ``alias`` and local ``predicates``) on the first reduction of a FROM
+    entry, or the previous transfer intermediate (already filtered, so no
+    predicates re-run) on later reductions.
+    """
+    live = tuple(
+        sorted(
+            set(keep_columns)
+            | set(stats_columns)
+            | {p.column for p in predicates}
+            | {column for column, _ in filters}
+        )
+    )
+    source: PhysicalOperator
+    if is_intermediate:
+        source = ReaderOp(source_name, live=live)
+    else:
+        source = ScanOp(source_name, alias, live=live)
+    filtered: PhysicalOperator = source
+    if predicates:
+        filtered = SelectOp(filtered, predicates)
+    filtered = SemiJoinFilterOp(filtered, filters)
+    sink = SinkOp(filtered, name, keep_columns, stats_columns)
+    return Job(sink, label=f"{name} = transfer({alias})", phase=phase)
 
 
 def build_pushdown_job(

@@ -62,6 +62,7 @@ HOT_PATHS = (
     "engine/vector",
     "engine/exchange",
     "engine/data",
+    "engine/bloom",
 )
 
 #: Wall-clock functions of the ``time`` module (D001).

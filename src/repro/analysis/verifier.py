@@ -52,6 +52,7 @@ from repro.engine.operators.joins import (
     IndexNestedLoopJoinOp,
     JoinAlgorithm,
 )
+from repro.engine.operators.filters import SemiJoinFilterOp
 from repro.engine.operators.scan import ReaderOp, ScanOp
 from repro.engine.operators.select import AssignOp, ProjectOp, SelectOp
 from repro.engine.operators.sink import DistributeResultOp, SinkOp
@@ -252,6 +253,19 @@ def _operator_columns(
             )
         return columns
 
+    if isinstance(op, SemiJoinFilterOp):
+        columns = _operator_columns(op.children[0], job, datasets, diagnostics)
+        if columns is not None:
+            _require_columns(
+                tuple(column for column, _ in op.filters),
+                columns,
+                "SemiJoinFilter",
+                diagnostics,
+                label,
+                phase,
+            )
+        return columns
+
     if isinstance(op, AssignOp):
         columns = _operator_columns(op.children[0], job, datasets, diagnostics)
         if columns is None:
@@ -432,7 +446,7 @@ def _check_phase_tail(job: Job, diagnostics: list[Diagnostic]) -> None:
                     phase,
                 )
             )
-    elif phase.startswith(("pushdown", "join", "replan")):
+    elif phase.startswith(("pushdown", "join", "replan", "transfer")):
         if not isinstance(root, SinkOp):
             diagnostics.append(
                 _diag(

@@ -30,6 +30,7 @@ from repro.bench import (
     skew,
     table1,
     throughput,
+    transfer,
     verify,
 )
 
@@ -147,9 +148,18 @@ def _run_feedback(args, shared) -> bool:
 
 def _run_skew(args, shared) -> bool:
     print("=== Adversarial skew sweep: all strategies x (skew, correlation) grid ===")
-    cells = skew.run_skew(seed=args.seed, smoke=args.smoke)
+    engine = args.engine if args.engine in ("rowwise", "vectorized") else None
+    cells = skew.run_skew(seed=args.seed, smoke=args.smoke, engine=engine)
     print(skew.format_skew(cells))
     return not skew.skew_ok(cells)
+
+
+def _run_transfer(args, shared) -> bool:
+    print("=== Predicate transfer: pre-filtering vs runtime re-optimization ===")
+    engine = args.engine if args.engine in ("rowwise", "vectorized") else None
+    cells = transfer.run_transfer(seed=args.seed, smoke=args.smoke, engine=engine)
+    print(transfer.format_transfer(cells))
+    return not transfer.transfer_ok(cells)
 
 
 def _run_verify(args, shared) -> bool:
@@ -180,6 +190,7 @@ REGISTRY = (
     Experiment("service", "multi-tenant query service tail latency", _run_service),
     Experiment("feedback", "fixed replan schedule vs ReplanPolicy", _run_feedback),
     Experiment("skew", "adversarial skew/correlation sweep, all strategies", _run_skew),
+    Experiment("transfer", "predicate-transfer pre-filtering vs dynamic", _run_transfer),
     Experiment("verify", "verifier sweep: zero diagnostics everywhere", _run_verify),
     Experiment("plans", "appendix plan matrix per optimizer", _run_plans),
 )
@@ -249,9 +260,10 @@ def main(argv: list[str] | None = None) -> int:
         "--engine",
         choices=("rowwise", "vectorized", "compare"),
         default=None,
-        help="execution engine for the throughput experiment; 'compare' runs "
-        "the batch on both and reports the host-time speedup (results and "
-        "simulated seconds are identical across engines)",
+        help="execution engine for the throughput, skew and transfer "
+        "experiments; 'compare' (throughput only) runs the batch on both and "
+        "reports the host-time speedup (results and simulated seconds are "
+        "identical across engines)",
     )
     args = parser.parse_args(argv)
     if not args.experiments:

@@ -185,6 +185,25 @@ class CostModel:
         """Reader: scan back a previously materialized intermediate."""
         return self.materialize(rows, row_width)
 
+    def bloom_build(self, rows: float, filters: int = 1) -> float:
+        """Insert ``rows`` keys into ``filters`` Bloom filters, partitioned.
+
+        One filter insertion per (row, filter) pair at hash-table-build CPU
+        cost — predicate transfer is charged like the hash work it is, never
+        treated as free (the Jahangiri et al. robust-hybrid-hash analysis).
+        """
+        return (rows / self.partitions) * self.params.cpu_tuple * max(1, filters)
+
+    def bloom_transfer(self, filter_bytes: float) -> float:
+        """Ship Bloom filters to a probe job: broadcast-style, every node
+        receives the full filter bytes over one link."""
+        return filter_bytes * self.params.network_byte
+
+    def bloom_probe(self, rows: float, filters: int = 1) -> float:
+        """Probe ``filters`` membership filters per row, in parallel across
+        partitions — one predicate-evaluation-weight test per (row, filter)."""
+        return (rows / self.partitions) * self.params.cpu_predicate * max(1, filters)
+
     def statistics(self, rows: float, tracked_fields: int) -> float:
         """Online sketch maintenance, overlapped across partitions."""
         return (rows / self.partitions) * tracked_fields * self.params.stats_value

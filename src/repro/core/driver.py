@@ -32,6 +32,7 @@ from repro.core.planner import (
 )
 from repro.core.policy import PolicyDecision, ReplanPolicy, RuntimeThresholds
 from repro.core.predicate_pushdown import join_columns_of, pushdown_stages
+from repro.core.predicate_transfer import transfer_stages
 from repro.core.reconstruction import reconstruct_after_join
 from repro.engine.metrics import ExecutionResult, JobMetrics
 from repro.engine.scheduler.request import JobRequest, drive_stages
@@ -168,7 +169,16 @@ class DynamicOptimizer(Optimizer):
         rank: RankFunction = rank_by_result_cardinality,
         fail_after_jobs: int | None = None,
         policy: ReplanPolicy | None = None,
+        pre_filter: str | None = None,
     ) -> None:
+        if pre_filter not in (None, "transfer"):
+            raise OptimizationError(
+                f"unknown pre_filter {pre_filter!r}; choose 'transfer' or None"
+            )
+        #: optional pre-filtering prelude: "transfer" runs the predicate
+        #: transfer passes (Bloom-filter propagation) in place of plain
+        #: predicate push-down before the re-optimization loop starts.
+        self.pre_filter = pre_filter
         self.inl_enabled = inl_enabled
         self.pushdown_enabled = pushdown_enabled
         self.reoptimize_joins = reoptimize_joins
@@ -240,7 +250,30 @@ class DynamicOptimizer(Optimizer):
             thresholds=self.policy.resolve(session, query=query),
         )
 
-        if self.pushdown_enabled:
+        if self.pre_filter == "transfer":
+            # Predicate-transfer prelude: the transfer reduce jobs apply each
+            # alias's local predicates on their first reduction, so plain
+            # push-down would be redundant work on top.
+            outcome = yield from transfer_stages(
+                state.current,
+                session,
+                working,
+                metrics,
+                phases,
+                tracer=tracer,
+                namespace=namespace,
+            )
+            state.current = outcome.query
+            for alias, name in outcome.intermediates.items():
+                state.registry[name] = LeafNode(
+                    alias=alias,
+                    dataset=query.table(alias).dataset,
+                    predicates=query.predicates_for(alias),
+                )
+            if not self.charge_online_stats:
+                metrics.stats = 0.0
+                tracer.sync(metrics.total_seconds)
+        elif self.pushdown_enabled:
             outcome = yield from pushdown_stages(
                 state.current,
                 session,

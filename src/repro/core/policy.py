@@ -180,8 +180,17 @@ class ReplanPolicy:
     # -- stage verdicts -------------------------------------------------------
 
     def is_bad_miss(self, q_error: float | None, thresholds: RuntimeThresholds) -> bool:
-        """Did this stage's estimate miss badly enough to replan?"""
-        if not self.enabled or q_error is None or math.isnan(q_error):
+        """Did this stage's estimate miss badly enough to replan?
+
+        Non-finite Q-errors never trigger: ``observe_qerror`` already counts
+        inf/NaN separately instead of folding them into the adaptive window
+        (they would pin every derived threshold), and the trigger must apply
+        the same rule — an infinite Q-error from a zero-estimate stage says
+        the *estimate* was degenerate, not that replanning will help, and
+        treating it as an automatic miss let a single degenerate stage buy a
+        replan on every remaining join.
+        """
+        if not self.enabled or q_error is None or not math.isfinite(q_error):
             return False
         return q_error > thresholds.qerror_threshold
 

@@ -1,0 +1,162 @@
+"""Deterministic Bloom filters for predicate transfer.
+
+Predicate transfer (Yang et al., "Predicate Transfer: Efficient
+Pre-Filtering on Multi-Join Queries") propagates approximate membership
+filters across join edges before execution. The filter here is a textbook
+partitioned-bit Bloom filter with two engineering constraints imposed by
+this codebase:
+
+- **Determinism.** Hashing goes through :func:`repro.common.rng.stable_hash`
+  (keyed blake2b), so filter contents — and therefore which false positives
+  survive a probe — are identical across processes, engines and platforms.
+  The byte-identity guarantee of DESIGN.md §10 extends through the semi-join
+  filter operator only because of this.
+- **Honest cost accounting.** The filter is *built* over stored
+  (scaled-down) rows but *charged* at modeled scale: ``charge_bytes`` is the
+  wire size a filter sized for the modeled cardinality would have, which is
+  what the cost model's ``bloom_transfer`` bills for shipping it.
+
+Index derivation uses Kirsch-Mitzenmacher double hashing: one 64-bit hash
+split into two halves drives all ``hash_count`` probes, so each add/probe
+costs a single blake2b invocation regardless of ``hash_count``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections.abc import Iterable
+
+from repro.common.errors import ReproError
+from repro.common.rng import stable_hash
+
+_LN2 = math.log(2.0)
+
+#: smallest filter ever allocated — tiny inputs still get a real bit array.
+MIN_BITS = 64
+#: default false-positive probability for transfer filters.
+DEFAULT_FPP = 0.01
+
+
+def bloom_bit_count(expected: int, fpp: float = DEFAULT_FPP) -> int:
+    """Optimal bit-array size for ``expected`` keys at probability ``fpp``."""
+    n = max(1, int(expected))
+    bits = math.ceil(-n * math.log(fpp) / (_LN2 * _LN2))
+    return max(MIN_BITS, bits)
+
+
+def bloom_hash_count(bit_count: int, expected: int) -> int:
+    """Optimal probe count ``k = m/n * ln 2`` (at least one)."""
+    n = max(1, int(expected))
+    return max(1, round(bit_count / n * _LN2))
+
+
+def bloom_size_bytes(expected: float, fpp: float = DEFAULT_FPP) -> float:
+    """Modeled wire size of a filter sized for ``expected`` keys.
+
+    ``expected`` may be fractional (modeled cardinalities are stored counts
+    times a scale factor); the result is the analytic optimal bit count in
+    bytes, without the :data:`MIN_BITS` floor or integer rounding — it feeds
+    the cost model, not an allocation.
+    """
+    n = max(1.0, float(expected))
+    bits = -n * math.log(fpp) / (_LN2 * _LN2)
+    return bits / 8.0
+
+
+class BloomFilter:
+    """A deterministic Bloom filter over arbitrary hashable-by-repr values.
+
+    The bit array is one Python int (arbitrary precision), which keeps
+    add/probe allocation-free and makes the whole filter trivially
+    fingerprintable.
+    """
+
+    __slots__ = ("bit_count", "hash_count", "charge_bytes", "_bits")
+
+    def __init__(
+        self, bit_count: int, hash_count: int, charge_bytes: float = 0.0
+    ) -> None:
+        if bit_count < 1 or hash_count < 1:
+            raise ReproError("a Bloom filter needs >= 1 bit and >= 1 hash")
+        self.bit_count = int(bit_count)
+        self.hash_count = int(hash_count)
+        #: modeled wire size in bytes, billed by ``CostModel.bloom_transfer``
+        #: when the filter ships to a probe job; defaults to the physical
+        #: size when the builder does not override it.
+        self.charge_bytes = (
+            float(charge_bytes) if charge_bytes > 0.0 else float(self.size_bytes)
+        )
+        self._bits = 0
+
+    @classmethod
+    def build(
+        cls,
+        values: Iterable[object],
+        expected: int,
+        fpp: float = DEFAULT_FPP,
+        charge_bytes: float | None = None,
+    ) -> BloomFilter:
+        """A filter sized for ``expected`` keys, populated from ``values``.
+
+        ``None`` values are skipped: a null join key never matches, and the
+        probe side drops null keys before consulting the filter.
+        """
+        bit_count = bloom_bit_count(expected, fpp)
+        bloom = cls(
+            bit_count,
+            bloom_hash_count(bit_count, expected),
+            charge_bytes if charge_bytes is not None else 0.0,
+        )
+        for value in values:
+            if value is not None:
+                bloom.add(value)
+        return bloom
+
+    def add(self, value: object) -> None:
+        digest = stable_hash(value)
+        low = digest & 0xFFFFFFFF
+        high = (digest >> 32) | 1
+        bit_count = self.bit_count
+        bits = self._bits
+        for i in range(self.hash_count):
+            bits |= 1 << ((low + i * high) % bit_count)
+        self._bits = bits
+
+    def might_contain(self, value: object) -> bool:
+        """False means definitely absent; True means present or false positive."""
+        digest = stable_hash(value)
+        low = digest & 0xFFFFFFFF
+        high = (digest >> 32) | 1
+        bit_count = self.bit_count
+        bits = self._bits
+        for i in range(self.hash_count):
+            if not (bits >> ((low + i * high) % bit_count)) & 1:
+                return False
+        return True
+
+    @property
+    def size_bytes(self) -> int:
+        """Physical size of the bit array in bytes."""
+        return (self.bit_count + 7) // 8
+
+    @property
+    def bits_set(self) -> int:
+        return bin(self._bits).count("1")
+
+    def fingerprint(self) -> str:
+        """Stable 64-bit content identity (used in cache tokens).
+
+        Hashes the raw bitset bytes, not its ``repr`` — a large filter's bit
+        array is an int with far more digits than CPython's int-to-str
+        conversion limit allows.
+        """
+        header = f"{self.bit_count}|{self.hash_count}|".encode()
+        payload = self._bits.to_bytes(self.size_bytes, "big")
+        return hashlib.blake2b(header + payload, digest_size=8).hexdigest()
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomFilter(bits={self.bit_count}, hashes={self.hash_count}, "
+            f"set={self.bits_set})"
+        )

@@ -152,6 +152,47 @@ def filter_columns(
     return out, out_length
 
 
+def semi_join_filter(
+    columns: dict[str, list],
+    length: int,
+    filters: tuple,
+    chunk_size: int,
+) -> tuple[dict[str, list], int]:
+    """Bloom semi-join filter over a columnar partition, chunk by chunk.
+
+    ``filters`` is an ordered tuple of ``(qualified column, BloomFilter)``
+    pairs; a row survives only when every filter column is non-null and its
+    value might be in the corresponding filter — the row-wise contract of
+    ``SemiJoinFilterOp._keep`` (null join keys never match, so they are
+    dropped exactly like the join itself would drop them). A filter column
+    absent from the partition reads as all-null and eliminates the chunk.
+    """
+    names = list(columns)
+    filter_cols = [columns.get(column) for column, _ in filters]
+    out: dict[str, list] = {name: [] for name in names}
+    out_length = 0
+    for start in range(0, length, chunk_size):
+        stop = min(start + chunk_size, length)
+        survivors: list[int] | range = range(start, stop)
+        for (_, bloom), col in zip(filters, filter_cols):
+            if not survivors:
+                break
+            if col is None:
+                survivors = []
+                break
+            contains = bloom.might_contain
+            survivors = [
+                i for i in survivors if col[i] is not None and contains(col[i])
+            ]
+        if not survivors:
+            continue
+        out_length += len(survivors)
+        for name in names:
+            col = columns[name]
+            out[name].extend(col[i] for i in survivors)
+    return out, out_length
+
+
 # -- hash-join kernels ---------------------------------------------------------
 
 

@@ -1,4 +1,4 @@
-"""Optimization strategies: the dynamic approach and its eight comparators.
+"""Optimization strategies: the dynamic approach and its nine comparators.
 
 Imports are lazy (PEP 562) because the dynamic optimizer lives in
 ``repro.core`` and subclasses/uses pieces from this package — eager imports
@@ -23,6 +23,7 @@ OPTIMIZERS = {
     "ingres": ("repro.optimizers.ingres", "IngresLikeOptimizer"),
     "greedy_static": ("repro.optimizers.greedy_static", "GreedyStaticOptimizer"),
     "sketch_online": ("repro.optimizers.sketch_online", "SketchOnlineOptimizer"),
+    "predicate_transfer": ("repro.optimizers.transfer", "PredicateTransferOptimizer"),
 }
 
 _LAZY_EXPORTS = {
@@ -35,6 +36,7 @@ _LAZY_EXPORTS = {
     "IngresLikeOptimizer": ("repro.optimizers.ingres", "IngresLikeOptimizer"),
     "GreedyStaticOptimizer": ("repro.optimizers.greedy_static", "GreedyStaticOptimizer"),
     "SketchOnlineOptimizer": ("repro.optimizers.sketch_online", "SketchOnlineOptimizer"),
+    "PredicateTransferOptimizer": ("repro.optimizers.transfer", "PredicateTransferOptimizer"),
     "PlannerToolkit": ("repro.algebra.toolkit", "PlannerToolkit"),
     "alias_stats_key": ("repro.algebra.toolkit", "alias_stats_key"),
     "best_bushy_plan": ("repro.optimizers.enumeration", "best_bushy_plan"),

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 
 from repro.common.errors import StatisticsError
 from repro.common.rng import stable_hash
@@ -177,11 +178,20 @@ class ServiceStore:
         self._sketches = dict(state["sketches"])
 
     def save(self, path: str) -> None:
-        """Write the store as JSON (atomically: temp file + rename)."""
+        """Write the store as JSON (atomically: temp file + rename).
+
+        A failure mid-write (serialization error, disk full, interrupt) must
+        not leave a half-written ``.tmp`` orphan behind: the temp file is
+        removed on any exit path where the rename did not happen.
+        """
         tmp = f"{path}.tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(self.to_state(), handle, indent=1, sort_keys=True)
-        os.replace(tmp, path)
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(self.to_state(), handle, indent=1, sort_keys=True)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.remove(tmp)
 
     def load(self, path: str) -> None:
         with open(path, encoding="utf-8") as handle:
@@ -189,8 +199,25 @@ class ServiceStore:
 
     @classmethod
     def open(cls, path: str, window: int = 64) -> ServiceStore:
-        """A store loaded from ``path`` when it exists, else a fresh one."""
+        """A store loaded from ``path`` when it exists, else a fresh one.
+
+        An unreadable store (truncated or corrupt JSON from a crashed
+        writer, a wrong-format file, an unsupported version) degrades to a
+        fresh store with a warning: persisted feedback is an optimization,
+        never a correctness input, so refusing to start over it would be
+        strictly worse than starting cold. ``load`` may have partially
+        mutated the store before raising, so the fallback is a new instance.
+        """
         store = cls(window)
         if os.path.exists(path):
-            store.load(path)
+            try:
+                store.load(path)
+            except (OSError, ValueError, KeyError, TypeError, StatisticsError) as exc:
+                warnings.warn(
+                    f"service store {path!r} is unreadable ({exc}); "
+                    "starting fresh",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return cls(window)
         return store

@@ -94,6 +94,43 @@ class TestPolicyValidation:
         assert thresholds == RuntimeThresholds()
 
 
+class TestNonFiniteQError:
+    """Regression: ``is_bad_miss`` guarded NaN but not inf, so a degenerate
+    zero-estimate stage (infinite Q-error) bought a replan on every
+    remaining join — while ``observe_qerror`` correctly refused to keep the
+    same value. Both sides now apply the same isfinite rule."""
+
+    THRESHOLDS = RuntimeThresholds()
+
+    def test_inf_is_not_a_bad_miss(self):
+        policy = ReplanPolicy.default()
+        assert not policy.is_bad_miss(float("inf"), self.THRESHOLDS)
+
+    def test_nan_and_none_still_ignored(self):
+        policy = ReplanPolicy.default()
+        assert not policy.is_bad_miss(float("nan"), self.THRESHOLDS)
+        assert not policy.is_bad_miss(None, self.THRESHOLDS)
+
+    def test_finite_miss_still_triggers(self):
+        policy = ReplanPolicy.default()
+        assert policy.is_bad_miss(
+            self.THRESHOLDS.qerror_threshold * 2, self.THRESHOLDS
+        )
+
+    def test_all_inf_trace_never_replans(self):
+        """An all-inf Q-error history pins the decision: the trigger stays
+        silent on every stage, matching what the adaptive window (which
+        counts but never keeps inf) would derive."""
+        policy = ReplanPolicy.default()
+        log = FeedbackLog()
+        for _ in range(16):
+            log.observe_qerror(float("inf"))
+        assert log.records == 0 and log.infinite_records == 16
+        assert not any(
+            policy.is_bad_miss(float("inf"), self.THRESHOLDS) for _ in range(16)
+        )
+
+
 class TestFeedbackLog:
     def test_infinite_records_are_counted_not_kept(self):
         log = FeedbackLog()

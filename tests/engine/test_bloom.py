@@ -1,0 +1,100 @@
+"""Deterministic Bloom filter tests (repro.engine.bloom)."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.engine.bloom import (
+    BloomFilter,
+    bloom_bit_count,
+    bloom_hash_count,
+    bloom_size_bytes,
+)
+
+
+class TestSizing:
+    def test_bit_count_grows_with_expected(self):
+        assert bloom_bit_count(1000) > bloom_bit_count(100) > bloom_bit_count(10)
+
+    def test_bit_count_grows_with_tighter_fpp(self):
+        assert bloom_bit_count(100, 0.001) > bloom_bit_count(100, 0.1)
+
+    def test_minimum_floor(self):
+        assert bloom_bit_count(1) >= 64
+        assert bloom_hash_count(64, 1) >= 1
+
+    def test_size_bytes_is_analytic(self):
+        # No MIN_BITS floor, no rounding: scales linearly with expected keys.
+        assert bloom_size_bytes(2000) == pytest.approx(2 * bloom_size_bytes(1000))
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ReproError):
+            BloomFilter(0, 1)
+        with pytest.raises(ReproError):
+            BloomFilter(64, 0)
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        values = [f"key-{i}" for i in range(500)]
+        bloom = BloomFilter.build(values, expected=len(values))
+        assert all(bloom.might_contain(v) for v in values)
+
+    def test_absent_values_mostly_rejected(self):
+        bloom = BloomFilter.build(range(1000), expected=1000, fpp=0.01)
+        false_positives = sum(
+            bloom.might_contain(i) for i in range(1000, 3000)
+        )
+        # 2000 probes at 1% target: allow generous slack, but nowhere near
+        # "everything passes".
+        assert false_positives < 100
+
+    def test_none_values_skipped(self):
+        bloom = BloomFilter.build([None, "a", None], expected=3)
+        assert bloom.might_contain("a")
+        assert bloom.bits_set <= bloom.hash_count
+
+    def test_mixed_types(self):
+        bloom = BloomFilter.build([1, "1", (1, 2)], expected=3)
+        assert bloom.might_contain(1)
+        assert bloom.might_contain("1")
+        assert bloom.might_contain((1, 2))
+
+
+class TestDeterminism:
+    def test_identical_builds_identical_fingerprints(self):
+        a = BloomFilter.build(range(100), expected=100)
+        b = BloomFilter.build(range(100), expected=100)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.bits_set == b.bits_set
+
+    def test_different_contents_differ(self):
+        a = BloomFilter.build(range(100), expected=100)
+        b = BloomFilter.build(range(1, 101), expected=100)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_insertion_order_irrelevant(self):
+        a = BloomFilter.build([1, 2, 3], expected=3)
+        b = BloomFilter.build([3, 1, 2], expected=3)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_large_filter_fingerprint(self):
+        # Regression: fingerprinting went through repr() of the bit-array
+        # int, which exceeds CPython's int-to-str digit limit for filters
+        # sized for realistic cardinalities.
+        bloom = BloomFilter.build(range(10_000), expected=10_000)
+        assert bloom.size_bytes * 8 >= 4300 * 3  # big enough to have crashed
+        assert len(bloom.fingerprint()) == 16
+
+
+class TestChargeBytes:
+    def test_defaults_to_physical_size(self):
+        bloom = BloomFilter(640, 4)
+        assert bloom.charge_bytes == float(bloom.size_bytes)
+
+    def test_override_wins(self):
+        bloom = BloomFilter(640, 4, charge_bytes=12345.5)
+        assert bloom.charge_bytes == 12345.5
+
+    def test_build_passes_override(self):
+        bloom = BloomFilter.build([1], expected=1, charge_bytes=99.0)
+        assert bloom.charge_bytes == 99.0

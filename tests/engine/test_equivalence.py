@@ -30,6 +30,15 @@ def test_engines_equivalent_with_inl(label: str) -> None:
     assert_engines_equivalent(label, "dynamic", inl_enabled=True)
 
 
+@pytest.mark.parametrize("label", ALL_QUERIES)
+def test_engines_equivalent_with_transfer_prelude(label: str) -> None:
+    """Dynamic behind the predicate-transfer prelude: covers the
+    SemiJoinFilterOp reduce jobs feeding the re-optimization loop (the
+    standalone ``predicate_transfer`` strategy is already in the
+    ALL_STRATEGIES sweep above)."""
+    assert_engines_equivalent(label, "dynamic", pre_filter="transfer")
+
+
 def test_fingerprint_covers_real_work() -> None:
     """Guard against a vacuous sweep: the fingerprints must show joins and
     scans actually happened (non-zero counters, at least one query with

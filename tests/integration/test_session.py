@@ -13,8 +13,8 @@ from tests.conftest import build_star_session, star_query
 class TestSession:
     def test_optimizer_names(self):
         names = Session().optimizer_names()
-        assert "dynamic" in names and "sketch_online" in names
-        assert len(names) == 9
+        assert "dynamic" in names and "predicate_transfer" in names
+        assert len(names) == 10
 
     def test_dataset_rows(self):
         session = build_star_session()

@@ -7,7 +7,7 @@ from repro.common.errors import OptimizationError
 
 
 class TestRegistry:
-    def test_all_nine_registered(self):
+    def test_all_ten_registered(self):
         assert sorted(optimizers.OPTIMIZERS) == [
             "best_order",
             "cost_based",
@@ -16,6 +16,7 @@ class TestRegistry:
             "greedy_static",
             "ingres",
             "pilot_run",
+            "predicate_transfer",
             "sketch_online",
             "worst_order",
         ]

@@ -119,6 +119,60 @@ class TestIntermediateCache:
             < first.result().metrics.total_seconds
         )
 
+    def test_forced_eviction_recomputes_instead_of_crashing(self):
+        """Regression guard: with a capacity-1 intermediate cache, each
+        query's own pushdown materializations evict one another, so a token
+        a queued query resolved against is usually gone by fetch time.
+        Every such lookup must fall back to recomputing the materialization
+        — never raise — and every round must still answer correctly."""
+        service = build_service(
+            config=ServiceConfig(
+                result_cache=False,
+                intermediate_cache=True,
+                intermediate_cache_entries=1,
+            )
+        )
+        baseline = build_service(
+            config=ServiceConfig(result_cache=False, intermediate_cache=False)
+        )
+        expected = baseline.session("a").submit(star_query(), "dynamic")
+        baseline.run_all()
+        for tenant in ("a", "b", "c"):
+            session = service.session(tenant)
+            handle = session.submit(star_query(), "dynamic")
+            service.run_all()
+            assert handle.result().rows == expected.result().rows
+            session.reset_intermediates()
+            service.reset_scheduler()
+        # the tiny cache actually thrashed: evicted tokens read as misses
+        # (recomputes), and the capacity bound held throughout
+        assert service.cache.stats.intermediate_misses >= 1
+        assert len(service.cache._intermediates) <= 1
+
+    def test_fetch_after_eviction_is_a_miss_not_a_crash(self):
+        """Unit-level pin of the same contract on ServiceCache itself: a
+        token evicted between store and fetch reads as a miss (None)."""
+        service = build_service(
+            config=ServiceConfig(
+                result_cache=False,
+                intermediate_cache=True,
+                intermediate_cache_entries=1,
+            )
+        )
+        tenant = service.session("a")
+        tenant.submit(star_query(), "dynamic")
+        service.run_all()
+        cache = service.cache
+        assert len(cache._intermediates) == 1
+        (token,) = cache._intermediates
+        cache._intermediates.clear()  # forced eviction
+
+        class _Request:
+            cache_token = token
+
+        assert cache.fetch_intermediate(service.executor, _Request()) is None
+        assert cache.stats.intermediate_misses >= 1
+
     def test_reingest_evicts_dependent_intermediates(self):
         service = build_service(
             config=ServiceConfig(result_cache=False, intermediate_cache=True)

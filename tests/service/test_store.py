@@ -126,6 +126,93 @@ class TestStoreRoundTrip:
             ServiceStore().restore_state(state)
 
 
+class TestSaveCrashCleanup:
+    """Regression: a raise mid-``save`` (serialization error, disk full)
+    left an orphaned ``.tmp`` file next to the store."""
+
+    def test_failed_save_leaves_no_tmp(self, tmp_path, monkeypatch):
+        store = ServiceStore()
+        path = tmp_path / "store.json"
+
+        def boom():
+            raise ValueError("injected mid-write failure")
+
+        monkeypatch.setattr(store, "to_state", boom)
+        with pytest.raises(ValueError, match="injected"):
+            store.save(str(path))
+        assert not path.exists()
+        assert not (tmp_path / "store.json.tmp").exists()
+
+    def test_failed_save_preserves_previous_file(self, tmp_path, monkeypatch):
+        store = ServiceStore()
+        path = tmp_path / "store.json"
+        store.save(str(path))
+        good = path.read_bytes()
+
+        def boom():
+            raise ValueError("injected mid-write failure")
+
+        monkeypatch.setattr(store, "to_state", boom)
+        with pytest.raises(ValueError):
+            store.save(str(path))
+        assert path.read_bytes() == good
+        assert not (tmp_path / "store.json.tmp").exists()
+
+    def test_successful_save_still_cleans_up(self, tmp_path):
+        store = ServiceStore()
+        path = tmp_path / "store.json"
+        store.save(str(path))
+        assert path.exists()
+        assert not (tmp_path / "store.json.tmp").exists()
+
+
+class TestOpenCorruptStore:
+    """``open`` must degrade to a fresh store on unreadable files — the
+    persisted feedback is an optimization, never a correctness input."""
+
+    def test_truncated_json_warns_and_starts_fresh(self, tmp_path):
+        path = tmp_path / "store.json"
+        ServiceStore().save(str(path))
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+        with pytest.warns(RuntimeWarning, match="starting fresh"):
+            store = ServiceStore.open(str(path))
+        assert store.sketched_datasets() == []
+        assert store.feedback.queries == 0
+
+    def test_garbage_warns_and_starts_fresh(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text("not json at all {{{")
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            store = ServiceStore.open(str(path))
+        assert store.sketched_datasets() == []
+
+    def test_wrong_shape_warns_and_starts_fresh(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text(json.dumps({"version": STORE_FORMAT_VERSION}))
+        with pytest.warns(RuntimeWarning, match="starting fresh"):
+            store = ServiceStore.open(str(path))
+        assert store.sketched_datasets() == []
+
+    def test_version_mismatch_warns_and_starts_fresh(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = ServiceStore()
+        state = store.to_state()
+        state["version"] = STORE_FORMAT_VERSION + 1
+        path.write_text(json.dumps(state, default=repr))
+        with pytest.warns(RuntimeWarning, match="starting fresh"):
+            opened = ServiceStore.open(str(path))
+        assert opened.sketched_datasets() == []
+
+    def test_healthy_file_loads_without_warning(self, tmp_path):
+        import warnings as warnings_module
+
+        path = tmp_path / "store.json"
+        ServiceStore().save(str(path))
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            ServiceStore.open(str(path))
+
+
 class TestStoredFeedbackGroups:
     def test_observations_route_into_dataset_groups(self):
         service = build_service()
