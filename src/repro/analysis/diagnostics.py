@@ -2,8 +2,9 @@
 
 Every finding is a :class:`Diagnostic` carrying a stable rule code. Codes are
 part of the public contract (tests assert them, CI greps them, DESIGN.md §9
-tabulates them): ``P…`` codes come from the plan/job verifier, ``D…`` codes
-from the source-level determinism lint.
+and §14 tabulate them): ``P…`` codes come from the plan/job verifier, ``Q…``
+codes from the query-level dataflow verifier (whole-job-sequence invariants),
+and ``D…``/``W…`` codes from the source-level determinism lint.
 """
 
 from __future__ import annotations
@@ -23,16 +24,28 @@ PLAN_RULES: dict[str, str] = {
     "P007": "duplicate-output-column",
 }
 
-#: Determinism lint rules (AST invariants of the engine source).
+#: Query-level dataflow verifier rules (invariants of the whole job
+#: *sequence* a query executed, DESIGN.md §14).
+QUERY_RULES: dict[str, str] = {
+    "Q001": "dead-sink",
+    "Q002": "read-before-write",
+    "Q003": "namespace-leak",
+    "Q004": "cache-token-collision",
+    "Q005": "charge-attribution-leak",
+    "Q006": "transfer-pass-unsound",
+}
+
+#: Determinism lint rules (AST/source invariants of the engine source).
 LINT_RULES: dict[str, str] = {
     "D001": "wall-clock-in-engine-code",
     "D002": "bare-random",
     "D003": "unordered-set-iteration",
     "D004": "queue-delay-in-jobmetrics",
+    "W001": "stale-suppression-pragma",
 }
 
 #: All rule codes -> short rule names.
-RULES: dict[str, str] = {**PLAN_RULES, **LINT_RULES}
+RULES: dict[str, str] = {**PLAN_RULES, **QUERY_RULES, **LINT_RULES}
 
 
 @dataclass(frozen=True)
@@ -64,6 +77,19 @@ class Diagnostic:
         elif self.job_label:
             where = f" [{self.job_label}]"
         return f"{self.code} {self.rule}{where}: {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form (the lint CLI's ``--format json`` output)."""
+        return {
+            "code": self.code,
+            "rule": self.rule,
+            "message": self.message,
+            "job_label": self.job_label,
+            "phase": self.phase,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+        }
 
 
 class PlanVerificationError(PlanError):

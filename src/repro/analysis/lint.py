@@ -24,16 +24,27 @@ code      rule                          invariant
                                         order-insensitive reducer (``sorted`` & co.)
 ``D004``  queue-delay-in-jobmetrics     queue delay lives on ``ScheduleInfo``/the
                                         timeline, never inside ``JobMetrics``
+``W001``  stale-suppression-pragma      every ``# det: allow(...)`` pragma must
+                                        still suppress a live finding — a stale
+                                        pragma is an invisible hole in the lint
 ========  ============================  =============================================
 
 ``# det: allow(D00x)`` on the offending line suppresses a finding (used for
-reviewed exceptions). Dict iteration is deliberately *not* flagged: Python
+reviewed exceptions); a pragma whose finding has since been fixed trips
+``W001`` so suppressions cannot silently outlive their reason (itself
+suppressible with ``# det: allow(W001)`` for pragmas that are only
+conditionally live). Dict iteration is deliberately *not* flagged: Python
 dicts preserve insertion order, which the planners rely on.
 
 Run from the command line (CI's ``analysis`` job does)::
 
-    PYTHONPATH=src python -m repro.analysis.lint          # lints src/repro
-    PYTHONPATH=src python -m repro.analysis.lint path/    # or explicit paths
+    PYTHONPATH=src python -m repro.analysis.lint            # lints src/repro
+    PYTHONPATH=src python -m repro.analysis.lint path/      # or explicit paths
+    PYTHONPATH=src python -m repro.analysis.lint --format json     # machine-readable
+    PYTHONPATH=src python -m repro.analysis.lint --format github   # CI annotations
+
+Exit code contract (pinned by tests, relied on by CI): ``0`` when there are
+no findings, ``1`` when there are any — warnings included.
 """
 
 from __future__ import annotations
@@ -54,7 +65,7 @@ RANDOM_EXEMPT = ("common/rng.py",)
 #: engine's operator/kernel modules are hot paths too: their iteration order
 #: feeds row order and the byte-identity guarantee of DESIGN.md §10.
 HOT_PATHS = (
-    "core/",
+    "core/",  # includes core/predicate_transfer.py: pass order feeds schedules
     "optimizers/",
     "algebra/",
     "engine/scheduler/",
@@ -63,6 +74,9 @@ HOT_PATHS = (
     "engine/exchange",
     "engine/data",
     "engine/bloom",
+    # The service layer orders admissions, cache evictions and feedback
+    # persistence — schedule-visible decisions, so hot-path rules apply.
+    "service/",
 )
 
 #: Wall-clock functions of the ``time`` module (D001).
@@ -105,7 +119,7 @@ ORDER_INSENSITIVE_CALLS = frozenset(
     {"sorted", "min", "max", "len", "sum", "any", "all", "set", "frozenset"}
 )
 
-_PRAGMA = re.compile(r"#\s*det:\s*allow\(\s*(D\d{3})\s*\)")
+_PRAGMA = re.compile(r"#\s*det:\s*allow\(\s*([DW]\d{3})\s*\)")
 
 
 def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
@@ -123,11 +137,45 @@ def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
         findings.extend(_check_set_iteration(tree, normalized))
     findings.extend(_check_queue_delay(tree, normalized))
 
+    # W001 runs against the *pre-suppression* findings: a pragma is stale
+    # exactly when no finding of its code exists on its line. Stale-pragma
+    # warnings then flow through the same suppression filter, so
+    # ``# det: allow(W001)`` can mark a pragma as intentionally conditional.
+    findings.extend(_check_stale_pragmas(findings, allowed, normalized))
+
     return [
         finding
         for finding in findings
         if finding.code not in allowed.get(finding.line, frozenset())
     ]
+
+
+def _check_stale_pragmas(
+    findings: list[Diagnostic],
+    allowed: dict[int, frozenset[str]],
+    path: str,
+) -> list[Diagnostic]:
+    live: dict[int, set[str]] = {}
+    for finding in findings:
+        live.setdefault(finding.line, set()).add(finding.code)
+    stale: list[Diagnostic] = []
+    for line in sorted(allowed):
+        for code in sorted(allowed[line]):
+            if code == "W001" or code in live.get(line, ()):
+                continue
+            stale.append(
+                Diagnostic(
+                    code="W001",
+                    message=f"stale pragma: `# det: allow({code})` suppresses "
+                    "nothing on this line — the finding it excused is gone, "
+                    "so remove the pragma (or allow(W001) it if the finding "
+                    "is conditional)",
+                    path=path,
+                    line=line,
+                    severity="warning",
+                )
+            )
+    return stale
 
 
 def lint_paths(paths: list[Path] | None = None) -> list[Diagnostic]:
@@ -432,12 +480,29 @@ def _check_queue_delay(tree: ast.Module, path: str) -> list[Diagnostic]:
 # -- CLI -----------------------------------------------------------------------
 
 
+def _github_annotation(finding: Diagnostic) -> str:
+    # GitHub workflow-command annotations; paths are repo-relative when the
+    # linted file resolves under src/repro (the CI checkout layout).
+    level = "warning" if finding.severity == "warning" else "error"
+    path = finding.path
+    if (Path("src/repro") / path).exists():
+        path = f"src/repro/{path}"
+    from repro.analysis.diagnostics import RULES
+
+    rule = RULES.get(finding.code, "")
+    return (
+        f"::{level} file={path},line={finding.line}"
+        f"::{finding.code} {rule}: {finding.message}"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     import argparse
+    import json
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Engine determinism lint (rules D001-D004).",
+        description="Engine determinism lint (rules D001-D004, W001).",
     )
     parser.add_argument(
         "paths",
@@ -445,11 +510,33 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         help="files or directories to lint (default: the repro package)",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format: human-readable text (default), a JSON document, "
+        "or GitHub Actions workflow-command annotations",
+    )
     args = parser.parse_args(argv)
     findings = lint_paths(list(args.paths))
-    for finding in findings:
-        print(finding.render())
-    print(f"determinism lint: {len(findings)} finding(s)")
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [finding.to_dict() for finding in findings],
+                    "count": len(findings),
+                },
+                indent=2,
+            )
+        )
+    elif args.format == "github":
+        for finding in findings:
+            print(_github_annotation(finding))
+        print(f"determinism lint: {len(findings)} finding(s)")
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(f"determinism lint: {len(findings)} finding(s)")
     return 1 if findings else 0
 
 

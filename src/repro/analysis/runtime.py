@@ -16,6 +16,17 @@ same gate. Verification:
 - raises :class:`~repro.analysis.diagnostics.PlanVerificationError` carrying
   every diagnostic when the job is broken, *before* the job runs.
 
+Three query-level entry points extend the same contract (DESIGN.md §14):
+
+- the gate additionally extracts a per-job
+  :class:`~repro.analysis.dataflow.JobDataflow` record onto the tracer
+  (:func:`record_replay_dataflow` does the same for cache-replayed jobs,
+  which never reach the gate);
+- :func:`verify_query_completion` replays the recorded sequence through the
+  Q001–Q006 dataflow verifier when the scheduler finishes a query;
+- :func:`verify_plan_before_jobgen` runs the P-rule plan checks on logical
+  :class:`~repro.algebra.plan.PlanNode` trees at plan time, before jobgen.
+
 ``Session(verify_plans=False)`` opts a session out (the executor skips the
 gate entirely).
 """
@@ -25,35 +36,62 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 # Host-side overhead accounting for the bench report; the simulated clock
-# (JobMetrics) is never involved.  # det: allow(D001)
+# (JobMetrics) is never involved.
 from time import perf_counter
 from typing import TYPE_CHECKING
 
 from repro.analysis.diagnostics import Diagnostic, PlanVerificationError
 
 if TYPE_CHECKING:
+    from repro.algebra.plan import PlanNode
     from repro.engine.executor import Executor
     from repro.engine.scheduler.request import JobRequest
 
 
 @dataclass
 class VerifierStats:
-    """Aggregate gate accounting on one executor (host wall time, not simulated)."""
+    """Aggregate gate accounting on one executor (host wall time, not simulated).
+
+    ``jobs_verified``/``wall_seconds`` cover the per-job gate and the
+    plan-time P-rule checks; ``queries_verified``/``query_wall_seconds``
+    meter the Q001–Q006 query-completion pass separately so ``bench
+    verify`` can report the query-level overhead on its own.
+    """
 
     jobs_verified: int = 0
     diagnostics_found: int = 0
     wall_seconds: float = 0.0
+    plans_verified: int = 0
+    queries_verified: int = 0
+    query_wall_seconds: float = 0.0
 
     def record(self, seconds: float, diagnostics: int) -> None:
         self.jobs_verified += 1
         self.diagnostics_found += diagnostics
         self.wall_seconds += seconds
 
+    def record_plan(self, seconds: float, diagnostics: int) -> None:
+        self.plans_verified += 1
+        self.diagnostics_found += diagnostics
+        self.wall_seconds += seconds
+
+    def record_query(self, seconds: float, diagnostics: int) -> None:
+        self.queries_verified += 1
+        self.diagnostics_found += diagnostics
+        self.query_wall_seconds += seconds
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return self.wall_seconds + self.query_wall_seconds
+
     def snapshot(self) -> VerifierStats:
         return VerifierStats(
             jobs_verified=self.jobs_verified,
             diagnostics_found=self.diagnostics_found,
             wall_seconds=self.wall_seconds,
+            plans_verified=self.plans_verified,
+            queries_verified=self.queries_verified,
+            query_wall_seconds=self.query_wall_seconds,
         )
 
     def since(self, before: VerifierStats) -> VerifierStats:
@@ -62,6 +100,10 @@ class VerifierStats:
             jobs_verified=self.jobs_verified - before.jobs_verified,
             diagnostics_found=self.diagnostics_found - before.diagnostics_found,
             wall_seconds=self.wall_seconds - before.wall_seconds,
+            plans_verified=self.plans_verified - before.plans_verified,
+            queries_verified=self.queries_verified - before.queries_verified,
+            query_wall_seconds=self.query_wall_seconds
+            - before.query_wall_seconds,
         )
 
 
@@ -71,7 +113,9 @@ def verify_before_launch(executor: Executor, request: JobRequest) -> None:
     Uses ``request.statistics`` (the driver's working catalog — the exact
     statistics the planner saw, including pilot-run per-alias overrides) for
     the estimate-based checks, falling back to the session catalog for
-    requests that never fork one.
+    requests that never fork one. As a side effect the job's dataflow record
+    (reads/writes/scans/probes) is appended to the tracer for the
+    query-completion pass.
     """
     job = request.job
     if job is None or not getattr(executor, "verify_plans", True):
@@ -79,9 +123,10 @@ def verify_before_launch(executor: Executor, request: JobRequest) -> None:
     # Imported lazily: the verifier pulls in the algebra/operator modules,
     # which import the engine package, which imports this module — keeping
     # runtime.py light breaks that cycle at package-init time.
+    from repro.analysis.dataflow import dataflow_of
     from repro.analysis.verifier import RULES_CHECKED_PER_JOB, verify_job
 
-    started = perf_counter()  # det: allow(D001)
+    started = perf_counter()
     diagnostics: list[Diagnostic] = verify_job(
         job,
         executor.datasets,
@@ -93,6 +138,8 @@ def verify_before_launch(executor: Executor, request: JobRequest) -> None:
         cluster=executor.cluster,
         cost=executor.cost,
     )
+    if request.tracer is not None:
+        request.tracer.record_dataflow(dataflow_of(job, request))
     executor.verifier_stats.record(perf_counter() - started, len(diagnostics))
     if request.tracer is not None:
         request.tracer.record_verification(
@@ -103,3 +150,119 @@ def verify_before_launch(executor: Executor, request: JobRequest) -> None:
         )
     if diagnostics:
         raise PlanVerificationError(diagnostics, job_label=job.label)
+
+
+def record_replay_dataflow(executor: Executor, request: JobRequest) -> None:
+    """Record a cache-replayed job's dataflow (the replay skips the gate).
+
+    A cache hit re-registers the job's outputs without launching anything,
+    but the query-level ledger still needs the write: otherwise a later
+    Reader of the replayed intermediate would trip Q002 and the replayed
+    sink itself Q001. Zero simulated cost; content deterministic.
+    """
+    job = request.job
+    if (
+        job is None
+        or request.tracer is None
+        or not getattr(executor, "verify_plans", True)
+    ):
+        return
+    from repro.analysis.dataflow import JobDataflow, dataflow_of
+
+    record = dataflow_of(job, request)
+    request.tracer.record_dataflow(
+        JobDataflow(
+            phase=record.phase,
+            label=record.label,
+            kind=record.kind,
+            reads=record.reads,
+            writes=record.writes,
+            scans=record.scans,
+            probes=record.probes,
+            cache_token=record.cache_token,
+            batch_key=record.batch_key,
+            replayed=True,
+        )
+    )
+
+
+def verify_query_completion(
+    executor: Executor,
+    trace: object,
+    namespace: str,
+    metrics_total: float | None = None,
+    token_registry: dict[str, tuple[str, ...]] | None = None,
+    job_label: str = "",
+) -> list[Diagnostic]:
+    """Replay a finished query's dataflow ledger through the Q-rule verifier.
+
+    Called by the scheduler when a query completes (before its namespace is
+    released), with the query's finished trace. Returns the diagnostics
+    instead of raising so the scheduler can route them through its own
+    failure path. Appends one ``phase="query"`` verification record to the
+    trace and meters host wall time on ``queries_verified`` /
+    ``query_wall_seconds``.
+    """
+    if not getattr(executor, "verify_plans", True):
+        return []
+    records = list(getattr(trace, "dataflows", ()) or ())
+    from repro.analysis.dataflow import QUERY_RULES_CHECKED, verify_query_dataflow
+
+    started = perf_counter()
+    diagnostics = verify_query_dataflow(
+        records,
+        namespace=namespace,
+        token_registry=token_registry,
+        trace=trace,
+        metrics_total=metrics_total,
+    )
+    executor.verifier_stats.record_query(
+        perf_counter() - started, len(diagnostics)
+    )
+    verifications = getattr(trace, "verifications", None)
+    if verifications is not None:
+        from repro.obs.trace import VerificationRecord
+
+        verifications.append(
+            VerificationRecord(
+                phase="query",
+                job_label=job_label,
+                rules_checked=QUERY_RULES_CHECKED,
+                codes=tuple(d.code for d in diagnostics),
+            )
+        )
+    return diagnostics
+
+
+def verify_plan_before_jobgen(
+    executor: Executor,
+    plan: PlanNode,
+    statistics: object | None = None,
+) -> None:
+    """Run the P-rule checks on a logical plan at plan time, before jobgen.
+
+    The dynamic driver calls this on every join the policy picks and on
+    every final/single-shot plan — so a broken logical plan is caught at
+    the re-optimization point that produced it, not two layers later when
+    the compiled job hits the launch gate. Zero simulated cost; host time
+    metered into ``plans_verified``/``wall_seconds``.
+    """
+    if plan is None or not getattr(executor, "verify_plans", True):
+        return
+    from repro.analysis.verifier import verify_plan
+
+    started = perf_counter()
+    diagnostics = verify_plan(
+        plan,
+        executor.datasets,
+        statistics=(
+            statistics if statistics is not None else executor.statistics
+        ),
+        cluster=executor.cluster,
+        cost=executor.cost,
+    )
+    executor.verifier_stats.record_plan(
+        perf_counter() - started, len(diagnostics)
+    )
+    if diagnostics:
+        raise PlanVerificationError(diagnostics, job_label=plan.describe())

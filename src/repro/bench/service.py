@@ -32,7 +32,7 @@ import os
 from dataclasses import dataclass
 
 # Host-side wall time for the run header only; every latency in the report
-# is simulated.  # det: allow(D001)
+# is simulated.
 from time import perf_counter
 
 from repro.cluster.config import ClusterConfig

@@ -30,7 +30,7 @@ from dataclasses import dataclass, replace
 
 # Host-side wall time: the engine-mode comparison reports real time (the
 # simulated seconds are byte-identical across engines by design, so host
-# time is the only axis the vectorized engine can win on).  # det: allow(D001)
+# time is the only axis the vectorized engine can win on).
 from time import perf_counter
 
 from repro.bench.runner import workbench

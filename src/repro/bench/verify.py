@@ -1,11 +1,12 @@
 """Verifier sweep: every strategy x evaluation query must verify clean.
 
 ``python -m repro.bench verify`` runs all registered optimization strategies
-over the paper's four evaluation queries plus the JOB-style suite (J1-J3)
-with the verify-on-compile gate
-active (it is on by default) and reports, per combination, how many jobs the
-:mod:`repro.analysis` verifier checked and what its host-side wall-time
-overhead was. The sweep asserts **zero diagnostics**: any
+(plus the ``dynamic+transfer`` prelude variant) over the paper's four
+evaluation queries plus the JOB-style suite (J1-J3) with the
+verify-on-compile gate active (it is on by default) and reports, per
+combination, how many jobs, plan-time checks and query-level (Q001–Q006)
+passes the :mod:`repro.analysis` verifiers ran and what their host-side
+wall-time overhead was. The sweep asserts **zero diagnostics**: any
 :class:`~repro.analysis.diagnostics.PlanVerificationError` means a strategy
 compiled a structurally broken job — a reproduction bug, not a data point —
 so the row is tabulated as FAILED and the experiment exits non-zero.
@@ -20,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 # Host-side wall time: the verifier's overhead is real time, not simulated
-# time, so the bench must measure it with a real clock.  # det: allow(D001)
+# time, so the bench must measure it with a real clock.
 from time import perf_counter
 
 from repro.analysis.diagnostics import PlanVerificationError
@@ -30,7 +31,10 @@ from repro.optimizers import available_strategies
 #: the verifier sweep covers every registered strategy, not just the
 #: Figure 7 comparison set — greedy_static, from_order and sketch_online
 #: included; enumerated from the registry so new planners enroll for free.
-VERIFY_OPTIMIZERS = tuple(sorted(available_strategies()))
+#: ``dynamic+transfer`` additionally sweeps the dynamic driver with the
+#: Bloom-propagation prelude (``pre_filter="transfer"``), the path the Q006
+#: transfer-soundness rule exists for.
+VERIFY_OPTIMIZERS = tuple(sorted(available_strategies())) + ("dynamic+transfer",)
 
 
 @dataclass(frozen=True)
@@ -44,6 +48,8 @@ class VerifyRow:
     diagnostics: tuple[str, ...]
     verifier_seconds: float
     host_seconds: float
+    plans_verified: int = 0
+    queries_verified: int = 0
 
     @property
     def clean(self) -> bool:
@@ -53,14 +59,21 @@ class VerifyRow:
 def verify_cell(
     label: str, scale_factor: int, optimizer: str, seed: int = 42
 ) -> VerifyRow:
-    """Run one query under one strategy and account the gate's work."""
+    """Run one query under one strategy and account the gate's work.
+
+    An optimizer spelled ``name+variant`` (currently ``dynamic+transfer``)
+    runs strategy ``name`` with the matching planner option — the only
+    variant today is the ``pre_filter="transfer"`` prelude.
+    """
     bench = workbench_for_query(label, scale_factor, seed)
     stats = bench.session.executor.verifier_stats
     before = stats.snapshot()
+    name, _, variant = optimizer.partition("+")
+    options: dict[str, object] = {"pre_filter": variant} if variant else {}
     started = perf_counter()  # det: allow(D001)
     diagnostics: tuple[str, ...] = ()
     try:
-        run_query(label, scale_factor, optimizer, seed=seed)
+        run_query(label, scale_factor, name, seed=seed, **options)
     except PlanVerificationError as error:
         diagnostics = error.codes()
     host_seconds = perf_counter() - started  # det: allow(D001)
@@ -71,8 +84,10 @@ def verify_cell(
         optimizer=optimizer,
         jobs_verified=delta.jobs_verified,
         diagnostics=diagnostics,
-        verifier_seconds=delta.wall_seconds,
+        verifier_seconds=delta.total_wall_seconds,
         host_seconds=host_seconds,
+        plans_verified=delta.plans_verified,
+        queries_verified=delta.queries_verified,
     )
 
 
@@ -108,8 +123,8 @@ def format_verify(rows: list[VerifyRow]) -> str:
     for (scale_factor, query), group in sorted(groups.items()):
         lines.append(f"{query} @ SF {scale_factor} — verify-on-compile sweep")
         lines.append(
-            f"  {'optimizer':14s} {'jobs':>5s} {'verdict':>10s}"
-            f" {'verifier':>10s} {'of run':>7s}"
+            f"  {'optimizer':16s} {'jobs':>5s} {'plans':>5s} {'qry':>3s}"
+            f" {'verdict':>10s} {'verifier':>10s} {'of run':>7s}"
         )
         for row in group:
             verdict = "clean" if row.clean else "FAILED " + ",".join(
@@ -121,16 +136,21 @@ def format_verify(rows: list[VerifyRow]) -> str:
                 else 0.0
             )
             lines.append(
-                f"  {row.optimizer:14s} {row.jobs_verified:5d} {verdict:>10s}"
+                f"  {row.optimizer:16s} {row.jobs_verified:5d}"
+                f" {row.plans_verified:5d} {row.queries_verified:3d}"
+                f" {verdict:>10s}"
                 f" {row.verifier_seconds * 1e3:8.2f}ms {share:6.1%}"
             )
     total_jobs = sum(row.jobs_verified for row in rows)
+    total_plans = sum(row.plans_verified for row in rows)
+    total_queries = sum(row.queries_verified for row in rows)
     total_verifier = sum(row.verifier_seconds for row in rows)
     total_host = sum(row.host_seconds for row in rows)
     dirty = [row for row in rows if not row.clean]
     lines.append(
-        f"total: {total_jobs} job(s) verified across {len(rows)} run(s) in "
-        f"{total_verifier * 1e3:.1f}ms host time"
+        f"total: {total_jobs} job(s), {total_plans} plan(s) and "
+        f"{total_queries} query-level pass(es) verified across {len(rows)} "
+        f"run(s) in {total_verifier * 1e3:.1f}ms host time"
         + (
             f" ({total_verifier / total_host:.1%} of {total_host:.2f}s)"
             if total_host > 0

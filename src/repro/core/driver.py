@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from repro.algebra.jobgen import build_final_job, build_sink_job
 from repro.algebra.plan import JoinNode, LeafNode, PlanNode
 from repro.algebra.toolkit import PlannerToolkit
+from repro.analysis.runtime import verify_plan_before_jobgen
 from repro.common.errors import OptimizationError
 from repro.core.planner import (
     PlannedJoin,
@@ -338,6 +339,10 @@ class DynamicOptimizer(Optimizer):
                 )
                 return (yield from self._final_stages(query, state, session, fused=True))
             picked = self._pick_join(state, planner, toolkit, policy)
+            # Plan-time verification (DESIGN.md §14): check the picked join's
+            # logical subtree at the re-optimization point that produced it,
+            # before jobgen — the compiled job re-verifies at the launch gate.
+            verify_plan_before_jobgen(session.executor, picked.node, state.working)
             name = f"{state.namespace}__join_{state.iteration}"
             keep, stats_columns = self._sink_columns(state.current, toolkit, picked)
             tables_after = len(state.current.tables) - 1
@@ -402,6 +407,7 @@ class DynamicOptimizer(Optimizer):
             )
         else:
             plan = Planner(self._toolkit(state, session), self.rank).final_plan()
+        verify_plan_before_jobgen(session.executor, plan, state.working)
         job = build_final_job(plan, state.current, session.datasets)
         outcome = yield JobRequest(
             phase="final",
@@ -617,6 +623,7 @@ class DynamicOptimizer(Optimizer):
             self.inl_enabled,
             broadcast_budget_bytes=state.thresholds.broadcast_budget_bytes,
         )
+        verify_plan_before_jobgen(session.executor, plan, state.working)
         job = build_final_job(plan, state.current, session.datasets)
         outcome = yield JobRequest(
             phase="single-shot",

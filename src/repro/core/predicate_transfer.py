@@ -33,16 +33,19 @@ charged honestly, and ``bench transfer`` maps both regimes).
 
 from __future__ import annotations
 
+from collections.abc import Generator, Iterator
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.algebra.jobgen import build_transfer_job
 from repro.algebra.rules.pushdown import surviving_columns
+from repro.analysis.dataflow import JobDataflow, TransferSummary
 from repro.core.predicate_pushdown import join_columns_of
 from repro.core.reconstruction import replace_filtered_table
 from repro.engine.bloom import DEFAULT_FPP, BloomFilter, bloom_size_bytes
 from repro.engine.metrics import JobMetrics
 from repro.engine.scheduler.request import JobRequest
-from repro.lang.ast import EvaluationContext, Query, split_column
+from repro.lang.ast import EvaluationContext, Predicate, Query, split_column
 from repro.lang.binding import ColumnResolver
 from repro.obs.trace import Tracer
 from repro.stats.catalog import StatisticsCatalog
@@ -67,7 +70,7 @@ def transfer_order(query: Query, statistics: StatisticsCatalog) -> list[str]:
     The most selective entries go first so their filters reduce everything
     visited after them; ties break on the alias for determinism.
     """
-    keyed = []
+    keyed: list[tuple[float, str]] = []
     for table in query.tables:
         stats = statistics.get(table.dataset)
         estimate = (
@@ -100,11 +103,11 @@ def transfer_adjacency(query: Query) -> dict[str, list[tuple[str, str, str]]]:
 
 def transfer_cache_token(
     dataset: str,
-    predicates,
+    predicates: tuple[Predicate, ...],
     keep_columns: tuple[str, ...],
     stats_columns: tuple[str, ...],
     filters: tuple[tuple[str, BloomFilter], ...],
-    parameters,
+    parameters: dict[str, Any] | None,
 ) -> str:
     """Namespace-free identity of one base-dataset transfer reduction.
 
@@ -141,7 +144,7 @@ def _gather_filters(
     filters: dict[str, dict[str, BloomFilter]],
 ) -> tuple[tuple[str, BloomFilter], ...]:
     """Applicable (own column, partner filter) pairs from ``sources``."""
-    gathered = []
+    gathered: list[tuple[str, BloomFilter]] = []
     for partner, own_column, partner_column in adjacency[alias]:
         if partner not in sources:
             continue
@@ -160,14 +163,14 @@ def _gather_filters(
 
 def transfer_stages(
     query: Query,
-    session,
+    session: Any,
     working_statistics: StatisticsCatalog,
     metrics: JobMetrics,
     phases: list[str],
     tracer: Tracer | None = None,
     namespace: str = "",
     fpp: float = DEFAULT_FPP,
-):
+) -> Generator[JobRequest, Any, TransferOutcome]:
     """Run the two-pass transfer schedule; return the rewritten query.
 
     A stage generator in the driver protocol: reduce jobs are yielded one at
@@ -206,7 +209,9 @@ def transfer_stages(
             for partner, _, _ in adjacency[alias]
         )
 
-    def reduce_stage(alias: str, direction: str, sources: set[str]):
+    def reduce_stage(
+        alias: str, direction: str, sources: set[str]
+    ) -> Iterator[JobRequest]:
         """One reduction of ``alias`` by its partners' current filters."""
         gathered = _gather_filters(alias, sources, adjacency, filters)
         if not gathered:
@@ -228,7 +233,7 @@ def transfer_stages(
             stats_columns,
             phase=f"transfer:{alias}" if direction == "f" else f"transfer-back:{alias}",
         )
-        estimate = None
+        estimate: tuple[str, float] | None = None
         if tracer is not None and final_reduce:
             # The transfer stage is a re-optimization point: record what the
             # pre-transfer statistics predicted for this entry (local
@@ -239,8 +244,8 @@ def transfer_stages(
                 filtered_cardinality(base_stats, query.predicates_for(alias))
                 * base_stats.scale,
             )
-        cache_token = None
-        batch_key = None
+        cache_token: str | None = None
+        batch_key: str | None = None
         if not is_intermediate:
             batch_key = query.table(alias).dataset
             cache_token = transfer_cache_token(
@@ -268,7 +273,7 @@ def transfer_stages(
         if alias not in outcome.executed_aliases:
             outcome.executed_aliases.append(alias)
 
-    def build_stage(alias: str):
+    def build_stage(alias: str) -> Iterator[JobRequest]:
         """Build (or rebuild) the alias's filters from its current rows."""
         entry, delta = _build_filters(
             query, alias, current[alias], session, context, adjacency, fpp
@@ -286,6 +291,21 @@ def transfer_stages(
             kind="transfer",
         )
         phases.append(phase_name)
+        if tracer is not None:
+            # The build pass is a virtual-cost request that never reaches the
+            # launch gate; record its filter fingerprints directly so the
+            # Q006 build-before-probe audit sees the build precede every
+            # reduce job that probes these filters.
+            tracer.record_dataflow(
+                JobDataflow(
+                    phase=phase_name,
+                    label=phase_name,
+                    kind="transfer",
+                    builds=tuple(
+                        sorted(bloom.fingerprint() for bloom in entry.values())
+                    ),
+                )
+            )
 
     # -- forward pass ---------------------------------------------------------
     for index, alias in enumerate(order):
@@ -314,6 +334,22 @@ def transfer_stages(
             rewritten = replace_filtered_table(rewritten, alias, name)
             outcome.intermediates[alias] = name
     outcome.query = rewritten
+    if tracer is not None:
+        # The Q006 rewiring audit: which aliases the pass reduced, and the
+        # (alias, dataset) binding of every FROM entry before and after the
+        # replace_filtered_table rewrite. All sorted — content-deterministic.
+        tracer.record_dataflow(
+            TransferSummary(
+                reduced=tuple(sorted(outcome.intermediates)),
+                intermediates=tuple(sorted(outcome.intermediates.items())),
+                original_tables=tuple(
+                    sorted((t.alias, t.dataset) for t in query.tables)
+                ),
+                rewritten_tables=tuple(
+                    sorted((t.alias, t.dataset) for t in rewritten.tables)
+                ),
+            )
+        )
     return outcome
 
 
@@ -321,7 +357,7 @@ def _build_filters(
     query: Query,
     alias: str,
     current_name: str | None,
-    session,
+    session: Any,
     context: EvaluationContext,
     adjacency: dict[str, list[tuple[str, str, str]]],
     fpp: float,
@@ -346,11 +382,11 @@ def _build_filters(
     delta.startup = cost.job_startup()
     delta.jobs = 1
 
-    values: dict[str, list] = {column: [] for column in own_columns}
+    values: dict[str, list[object]] = {column: [] for column in own_columns}
     if current_name is None:
         table = query.table(alias)
         dataset = session.datasets.get(table.dataset)
-        predicates = query.predicates_for(alias)
+        predicates: tuple[Predicate, ...] = query.predicates_for(alias)
         prefix = f"{alias}."
         storage_names = {
             column: split_column(column)[1] for column in own_columns

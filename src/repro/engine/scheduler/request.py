@@ -32,7 +32,7 @@ from collections.abc import Generator, Iterable
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.analysis.runtime import verify_before_launch
+from repro.analysis.runtime import record_replay_dataflow, verify_before_launch
 from repro.engine.job import Job
 from repro.engine.metrics import JobMetrics
 
@@ -141,6 +141,10 @@ def _perform(
         replayed = cache.fetch_intermediate(executor, request)
         if replayed is not None:
             data, job_metrics = replayed
+            # The replay never reaches the launch gate, but the query-level
+            # dataflow ledger still needs the job's writes registered or the
+            # Q001/Q002 checks would flag the replayed intermediate.
+            record_replay_dataflow(executor, request)
             request.cumulative.merge(job_metrics)
             return JobOutcome(data=data, metrics=job_metrics, shared_with=1)
     if request.virtual_cost is not None:

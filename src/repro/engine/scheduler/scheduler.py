@@ -294,6 +294,9 @@ class JobScheduler:
         #: ``on_finish(handle, result)`` observes every completed result.
         self.on_admit = None
         self.on_finish = None
+        #: cache-token -> scan-signature ledger shared across this
+        #: scheduler's queries (the Q004 cross-query collision check).
+        self._dataflow_tokens: dict[str, tuple[str, ...]] = {}
 
     # -- submission -----------------------------------------------------------
 
@@ -696,6 +699,35 @@ class JobScheduler:
         self._admit(finished)
 
     def _finish(self, handle: QueryHandle, result, cache_hit: bool = False) -> None:
+        # Query-level verification (DESIGN.md §14): before the namespace is
+        # released, replay the query's recorded dataflow ledger through the
+        # Q001-Q006 checks. Zero simulated cost (host time metered on
+        # VerifierStats); a finding routes through the ordinary failure path
+        # so ``result()`` re-raises a PlanVerificationError. Cache hits ran
+        # no jobs, and traceless results recorded no ledger to audit.
+        if (
+            not cache_hit
+            and isinstance(result, ExecutionResult)
+            and getattr(result, "trace", None) is not None
+            and getattr(self.executor, "verify_plans", True)
+        ):
+            from repro.analysis.diagnostics import PlanVerificationError
+            from repro.analysis.runtime import verify_query_completion
+
+            diagnostics = verify_query_completion(
+                self.executor,
+                result.trace,
+                namespace=f"__q{handle.query_id}",
+                metrics_total=result.metrics.total_seconds,
+                token_registry=self._dataflow_tokens,
+                job_label=handle.label,
+            )
+            if diagnostics:
+                self._fail(
+                    handle,
+                    PlanVerificationError(diagnostics, job_label=handle.label),
+                )
+                return
         handle.finished_at = self.now
         handle.status = "done"
         handle._result = result

@@ -116,6 +116,13 @@ def render_explain_analyze(trace: QueryTrace) -> str:
                 f" {_format_rows(record.actual_rows):>14s}"
                 f" {_format_q(record.q_error):>8s}"
             )
+        from repro.analysis.diagnose import diagnose_trace, format_diagnosis
+
+        hypotheses = diagnose_trace(trace)
+        if hypotheses:
+            lines.append("")
+            lines.append("plan-quality diagnosis (ranked hypotheses):")
+            lines.append(format_diagnosis(hypotheses))
     return "\n".join(lines)
 
 

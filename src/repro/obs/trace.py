@@ -182,6 +182,9 @@ class Tracer:
         self.base_seconds = 0.0
         self.estimates: list[EstimateRecord] = []
         self.verifications: list[VerificationRecord] = []
+        #: query-level dataflow records (JobDataflow / TransferSummary from
+        #: repro.analysis.dataflow — typed loosely to avoid an import cycle).
+        self.dataflows: list = []
         self._stack: list[Span] = [self.root]
         self._phase_names: list[str] = []
         self._finished = False
@@ -326,6 +329,16 @@ class Tracer:
             )
         )
 
+    def record_dataflow(self, record) -> None:
+        """Append a query-level dataflow record (zero simulated cost).
+
+        ``record`` is a :class:`repro.analysis.dataflow.JobDataflow` or
+        :class:`~repro.analysis.dataflow.TransferSummary`; the query-level
+        verifier replays the sequence when the query completes. Content is
+        deterministic (names and fingerprints, never wall time).
+        """
+        self.dataflows.append(record)
+
     # -- completion -----------------------------------------------------------
 
     def finish(self) -> QueryTrace:
@@ -336,6 +349,7 @@ class Tracer:
             root=self.root,
             estimates=list(self.estimates),
             verifications=list(self.verifications),
+            dataflows=list(self.dataflows),
         )
 
 
@@ -347,6 +361,10 @@ class QueryTrace:
     estimates: list[EstimateRecord] = field(default_factory=list)
     #: verify-on-compile gate passes, one per verified job (DESIGN.md §9).
     verifications: list["VerificationRecord"] = field(default_factory=list)
+    #: per-job dataflow records fed to the query-level verifier (§14);
+    #: JobDataflow / TransferSummary instances, loosely typed to avoid an
+    #: import cycle with repro.analysis.
+    dataflows: list = field(default_factory=list)
 
     def spans(self) -> list[Span]:
         return list(self.root.walk())
@@ -388,6 +406,8 @@ class QueryTrace:
             out["verifications"] = [
                 record.to_dict() for record in self.verifications
             ]
+        if self.dataflows:
+            out["dataflows"] = [record.to_dict() for record in self.dataflows]
         return out
 
     def to_json(self, indent: int | None = None) -> str:

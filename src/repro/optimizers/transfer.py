@@ -29,6 +29,7 @@ from __future__ import annotations
 from repro.algebra.jobgen import build_final_job
 from repro.algebra.plan import LeafNode, PlanNode
 from repro.algebra.toolkit import PlannerToolkit
+from repro.analysis.runtime import verify_plan_before_jobgen
 from repro.core.predicate_transfer import transfer_stages
 from repro.engine.bloom import DEFAULT_FPP
 from repro.engine.metrics import ExecutionResult, JobMetrics
@@ -69,6 +70,7 @@ class PredicateTransferOptimizer(Optimizer):
 
         toolkit = PlannerToolkit(outcome.query, session, working, self.inl_enabled)
         plan = best_bushy_plan(toolkit)
+        verify_plan_before_jobgen(session.executor, plan, working)
         job = build_final_job(plan, outcome.query, session.datasets)
         final_outcome = yield JobRequest(
             phase="final",

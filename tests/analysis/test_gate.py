@@ -11,6 +11,7 @@ from dataclasses import asdict
 
 import pytest
 
+from repro.analysis.dataflow import QUERY_RULES_CHECKED
 from repro.analysis.diagnostics import PlanVerificationError
 from repro.analysis.runtime import verify_before_launch
 from repro.analysis.verifier import RULES_CHECKED_PER_JOB
@@ -99,9 +100,16 @@ class TestTraceAndExplain:
         records = result.trace.verifications
         assert records
         assert all(record.clean for record in records)
-        assert all(
-            record.rules_checked == RULES_CHECKED_PER_JOB for record in records
+        # Per-job gate records, plus exactly one query-level (Q-rule) record
+        # appended when the scheduler finished the query.
+        job_records = [r for r in records if r.phase != "query"]
+        query_records = [r for r in records if r.phase == "query"]
+        assert job_records and all(
+            record.rules_checked == RULES_CHECKED_PER_JOB
+            for record in job_records
         )
+        assert len(query_records) == 1
+        assert query_records[0].rules_checked == QUERY_RULES_CHECKED
         assert "verifications" in result.trace.to_dict()
 
     def test_failed_verification_recorded_in_trace(self):

@@ -1,13 +1,17 @@
-"""Mutation tests for the determinism lint (D001-D004) + the clean-tree gate.
+"""Mutation tests for the determinism lint (D001-D004, W001) + the clean tree.
 
 Each rule gets a minimal source snippet that trips it, the nearest
 non-violation that must NOT trip it, and its documented escape hatches
-(path exemptions and ``# det: allow(...)`` pragmas).
+(path exemptions and ``# det: allow(...)`` pragmas). The CLI's output
+formats and exit-code contract (0 clean / 1 findings, relied on by CI) are
+pinned here too.
 """
+
+import json
 
 from pathlib import Path
 
-from repro.analysis.lint import lint_paths, lint_source
+from repro.analysis.lint import HOT_PATHS, lint_paths, lint_source, main
 
 
 def codes(findings) -> list[str]:
@@ -39,11 +43,16 @@ class TestD001WallClock:
         assert lint_source(source, "engine/executor.py") == []
 
     def test_pragma_is_code_specific(self):
+        # The mismatched pragma suppresses nothing, so the D001 fires and
+        # the pragma itself is reported stale (W001).
         source = (
             "from time import perf_counter\n\n"
             "x = perf_counter()  # det: allow(D002)\n"
         )
-        assert codes(lint_source(source, "engine/executor.py")) == ["D001"]
+        assert sorted(codes(lint_source(source, "engine/executor.py"))) == [
+            "D001",
+            "W001",
+        ]
 
     def test_sleep_is_not_wall_clock(self):
         source = "import time\n\ntime.sleep(0)\n"
@@ -119,6 +128,111 @@ class TestD004QueueDelayInMetrics:
     def test_other_metrics_fields_fine(self):
         source = "def charge(metrics, s):\n    metrics.scan += s\n"
         assert lint_source(source, "engine/metrics.py") == []
+
+
+class TestW001StalePragma:
+    def test_stale_pragma_trips(self):
+        source = "def f(x):\n    return x  # det: allow(D001)\n"
+        found = lint_source(source, "engine/metrics.py")
+        assert codes(found) == ["W001"]
+        assert found[0].severity == "warning"
+        assert found[0].line == 2
+
+    def test_live_pragma_does_not_trip(self):
+        source = (
+            "from time import perf_counter\n"
+            "def f():\n"
+            "    return perf_counter()  # det: allow(D001)\n"
+        )
+        assert lint_source(source, "engine/metrics.py") == []
+
+    def test_pragma_for_a_different_code_is_stale(self):
+        # The line has a real D001 but the pragma excuses D003: the finding
+        # fires AND the mismatched pragma is reported stale.
+        source = (
+            "from time import perf_counter\n"
+            "def f():\n"
+            "    return perf_counter()  # det: allow(D003)\n"
+        )
+        assert sorted(codes(lint_source(source, "engine/metrics.py"))) == [
+            "D001",
+            "W001",
+        ]
+
+    def test_w001_is_self_suppressible(self):
+        source = (
+            "def f(x):\n"
+            "    return x  # det: allow(D001)  # det: allow(W001)\n"
+        )
+        assert lint_source(source, "engine/metrics.py") == []
+
+    def test_lone_w001_pragma_is_not_stale(self):
+        # allow(W001) never demands a live W001 on its line — it exists
+        # exactly to mark conditionally-live pragmas.
+        source = "def f(x):\n    return x  # det: allow(W001)\n"
+        assert lint_source(source, "engine/metrics.py") == []
+
+
+class TestHotPathCoverage:
+    def test_service_and_transfer_paths_are_hot(self):
+        assert any("service/" in fragment for fragment in HOT_PATHS)
+        # core/ covers core/predicate_transfer.py — pin that it stays true.
+        assert any(
+            fragment in "core/predicate_transfer.py" for fragment in HOT_PATHS
+        )
+
+    def test_service_files_get_set_iteration_rule(self):
+        source = "def f():\n    s = {1, 2}\n    for x in s:\n        print(x)\n"
+        assert codes(lint_source(source, "service/admission.py")) == ["D003"]
+        assert codes(lint_source(source, "core/predicate_transfer.py")) == [
+            "D003"
+        ]
+
+
+class TestCLIFormats:
+    def stale_file(self, tmp_path):
+        target = tmp_path / "metrics_helper.py"
+        target.write_text("def f(x):\n    return x  # det: allow(D001)\n")
+        return target
+
+    def test_exit_code_contract(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f(x):\n    return x\n")
+        assert main([str(clean)]) == 0
+        assert main([str(self.stale_file(tmp_path))]) == 1
+        capsys.readouterr()
+
+    def test_json_format(self, tmp_path, capsys):
+        assert main([str(self.stale_file(tmp_path)), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        (finding,) = payload["findings"]
+        assert finding["code"] == "W001"
+        assert finding["rule"] == "stale-suppression-pragma"
+        assert finding["severity"] == "warning"
+        assert finding["line"] == 2
+
+    def test_json_format_clean(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f(x):\n    return x\n")
+        assert main([str(clean), "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out) == {
+            "findings": [],
+            "count": 0,
+        }
+
+    def test_github_format(self, tmp_path, capsys):
+        assert main([str(self.stale_file(tmp_path)), "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        annotation = out.splitlines()[0]
+        assert annotation.startswith("::warning file=")
+        assert ",line=2::W001 stale-suppression-pragma:" in annotation
+
+    def test_github_format_uses_error_level_for_errors(self, tmp_path, capsys):
+        target = tmp_path / "engine_bit.py"
+        target.write_text("import random\n")
+        assert main([str(target), "--format", "github"]) == 1
+        assert capsys.readouterr().out.startswith("::error file=")
 
 
 class TestCleanTree:

@@ -15,6 +15,7 @@ from repro.algebra.toolkit import PlannerToolkit
 from repro.analysis.diagnostics import (
     LINT_RULES,
     PLAN_RULES,
+    QUERY_RULES,
     RULES,
     Diagnostic,
     PlanVerificationError,
@@ -250,8 +251,9 @@ class TestP007DuplicateOutput:
 class TestDiagnostics:
     def test_rule_tables_cover_all_codes(self):
         assert set(PLAN_RULES) == {f"P00{i}" for i in range(1, 8)}
-        assert set(LINT_RULES) == {f"D00{i}" for i in range(1, 5)}
-        assert RULES == {**PLAN_RULES, **LINT_RULES}
+        assert set(QUERY_RULES) == {f"Q00{i}" for i in range(1, 7)}
+        assert set(LINT_RULES) == {f"D00{i}" for i in range(1, 5)} | {"W001"}
+        assert RULES == {**PLAN_RULES, **QUERY_RULES, **LINT_RULES}
 
     def test_error_payload(self):
         diagnostics = [

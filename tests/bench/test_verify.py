@@ -14,7 +14,19 @@ class TestVerifySweep:
     def test_covers_every_registered_strategy(self):
         from repro.optimizers import OPTIMIZERS
 
-        assert VERIFY_OPTIMIZERS == tuple(sorted(OPTIMIZERS))
+        # Every registered strategy plus the transfer-prelude variant.
+        assert VERIFY_OPTIMIZERS == tuple(sorted(OPTIMIZERS)) + (
+            "dynamic+transfer",
+        )
+
+    def test_transfer_variant_cell_runs_the_prelude(self):
+        row = verify_cell("Q8", 10, "dynamic+transfer")
+        assert row.clean
+        assert row.optimizer == "dynamic+transfer"
+        assert row.queries_verified == 1
+        # The prelude's reduce jobs push the gate count past plain dynamic's.
+        plain = verify_cell("Q8", 10, "dynamic")
+        assert row.jobs_verified > plain.jobs_verified
 
     def test_dynamic_cell_is_clean_and_accounted(self):
         row = verify_cell("Q50", 10, "dynamic")
